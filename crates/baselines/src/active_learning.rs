@@ -1,0 +1,167 @@
+//! Active-learning supervised matcher (`AL` in the paper).
+//!
+//! The paper's AL baseline interactively queries an oracle (the ground
+//! truth) for the labels of the most *uncertain* candidate pairs —
+//! uncertainty sampling, as in modAL — until the label budget (the training
+//! split) is exhausted, then trains the same random-forest model as Magellan
+//! on the collected labels.  Careful example selection is why AL is the
+//! strongest supervised baseline in Table 2.
+
+use crate::common::{best_per_right, CandidateSet, SupervisedMatcher};
+use crate::features::FeatureExtractor;
+use crate::magellan::training_samples;
+use crate::ml::{RandomForest, Sample};
+use autofj_eval::ScoredPrediction;
+
+/// Uncertainty-sampling active learner over a random forest.
+#[derive(Debug, Clone, Copy)]
+pub struct ActiveLearning {
+    /// Number of trees in the forest.
+    pub num_trees: usize,
+    /// Number of active-learning rounds.
+    pub rounds: usize,
+}
+
+impl Default for ActiveLearning {
+    fn default() -> Self {
+        Self {
+            num_trees: 20,
+            rounds: 5,
+        }
+    }
+}
+
+impl SupervisedMatcher for ActiveLearning {
+    fn name(&self) -> &'static str {
+        "AL"
+    }
+
+    fn fit_predict(
+        &self,
+        left: &[String],
+        right: &[String],
+        ground_truth: &[Option<usize>],
+        train_rights: &[usize],
+        seed: u64,
+    ) -> Vec<ScoredPrediction> {
+        let cands = CandidateSet::generate(left, right);
+        if cands.is_empty() {
+            return Vec::new();
+        }
+        let fx = FeatureExtractor::build(left, right);
+        // The label budget: the right records whose labels the oracle may
+        // reveal (same 50 % budget as the other supervised methods).
+        let budget: Vec<usize> = train_rights.to_vec();
+        if budget.is_empty() {
+            let scored = cands
+                .pairs()
+                .map(|(r, l)| {
+                    let f = fx.features(l, r);
+                    ScoredPrediction {
+                        right: r,
+                        left: l,
+                        score: f.iter().sum::<f64>() / f.len() as f64,
+                    }
+                })
+                .collect();
+            return best_per_right(scored);
+        }
+        // Seed with a small random slice of the budget, then iteratively add
+        // the most uncertain remaining budgeted records.
+        let per_round = (budget.len() / (self.rounds + 1)).max(1);
+        let mut labeled: Vec<usize> = budget.iter().copied().take(per_round).collect();
+        let mut pool: Vec<usize> = budget.iter().copied().skip(per_round).collect();
+        let mut forest: Option<RandomForest> = None;
+        for round in 0..self.rounds {
+            let samples: Vec<Sample> = training_samples(&cands, &fx, ground_truth, &labeled);
+            if samples.iter().any(|s| s.label) && samples.iter().any(|s| !s.label) {
+                forest = Some(RandomForest::fit(
+                    &samples,
+                    self.num_trees,
+                    seed ^ (round as u64 + 1),
+                ));
+            }
+            if pool.is_empty() {
+                break;
+            }
+            // Uncertainty of a right record = |0.5 − p| of its best candidate
+            // (smaller = more uncertain).
+            let mut uncertainty: Vec<(usize, f64)> = pool
+                .iter()
+                .map(|&r| {
+                    let u = cands.candidates[r]
+                        .iter()
+                        .map(|&l| {
+                            let p = forest
+                                .as_ref()
+                                .map(|f| f.predict_proba(&fx.features(l, r)))
+                                .unwrap_or(0.5);
+                            (p - 0.5).abs()
+                        })
+                        .fold(f64::INFINITY, f64::min);
+                    (r, u)
+                })
+                .collect();
+            uncertainty.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            let picked: Vec<usize> = uncertainty.iter().take(per_round).map(|(r, _)| *r).collect();
+            pool.retain(|r| !picked.contains(r));
+            labeled.extend(picked);
+        }
+        // Final model on everything labeled (up to the full budget).
+        let samples: Vec<Sample> = training_samples(&cands, &fx, ground_truth, &labeled);
+        let forest = if samples.iter().any(|s| s.label) && samples.iter().any(|s| !s.label) {
+            Some(RandomForest::fit(&samples, self.num_trees, seed ^ 0xA11))
+        } else {
+            forest
+        };
+        let scored = cands
+            .pairs()
+            .map(|(r, l)| {
+                let f = fx.features(l, r);
+                let score = match &forest {
+                    Some(model) => model.predict_proba(&f),
+                    None => f.iter().sum::<f64>() / f.len() as f64,
+                };
+                ScoredPrediction { right: r, left: l, score }
+            })
+            .collect();
+        best_per_right(scored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::train_test_split;
+
+    #[test]
+    fn active_learner_matches_most_test_records() {
+        let left: Vec<String> = (0..60)
+            .map(|i| format!("Lexington {} Archive box {i}", ["State", "County", "City"][i % 3]))
+            .collect();
+        let right: Vec<String> = (0..30)
+            .map(|i| format!("Lexington {} Archive box {i} copy", ["State", "County", "City"][i % 3]))
+            .collect();
+        let gt: Vec<Option<usize>> = (0..30).map(Some).collect();
+        let (train, test) = train_test_split(right.len(), 0.5, 4);
+        let preds = ActiveLearning::default().fit_predict(&left, &right, &gt, &train, 9);
+        let correct_test = preds
+            .iter()
+            .filter(|p| test.contains(&p.right) && gt[p.right] == Some(p.left))
+            .count();
+        assert!(
+            correct_test as f64 >= 0.6 * test.len() as f64,
+            "correct on test = {correct_test}/{}",
+            test.len()
+        );
+    }
+
+    #[test]
+    fn empty_budget_still_returns_predictions() {
+        let left = vec!["one two three".to_string(), "four five six".to_string()];
+        let right = vec!["one two three four".to_string()];
+        let preds = ActiveLearning::default().fit_predict(&left, &right, &[Some(0)], &[], 1);
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].left, 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! DeepMatcher-substitute supervised matcher (`DM` in the paper).
+//!
+//! DeepMatcher (Mudgal et al., SIGMOD 2018) learns record embeddings with an
+//! RNN over word embeddings and classifies pairs with a neural network.
+//! Training such a model is out of scope offline; per `DESIGN.md` we
+//! substitute a parametric classifier in the same spirit: each record is
+//! embedded with the hashed token embeddings of `autofj-text`, and a logistic
+//! model is trained on the concatenation of (absolute embedding difference,
+//! element-wise product summary, similarity features).  The qualitative
+//! property the paper relies on — a data-hungry supervised model that
+//! underperforms when only a modest number of labels is available — is
+//! preserved.
+
+use crate::common::{best_per_right, CandidateSet, SupervisedMatcher};
+use crate::features::FeatureExtractor;
+use crate::ml::{LogisticRegression, Sample};
+use autofj_eval::ScoredPrediction;
+use autofj_text::distance::embed::{self, Embedding};
+
+/// DeepMatcher-substitute matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct DeepMatcherSub {
+    /// Training epochs of the logistic head.
+    pub epochs: usize,
+}
+
+impl Default for DeepMatcherSub {
+    fn default() -> Self {
+        Self { epochs: 150 }
+    }
+}
+
+fn record_embedding(s: &str) -> Embedding {
+    embed::embed_document(s.to_lowercase().split_whitespace().map(|t| (t, 1.0)))
+}
+
+fn pair_features(fx: &FeatureExtractor, le: &Embedding, re: &Embedding, l: usize, r: usize) -> Vec<f64> {
+    // Compress the 64-d embedding difference into 8 band summaries to keep
+    // the model small (DeepMatcher's attention summarizer plays this role).
+    let mut out = Vec::with_capacity(8 + 2 + crate::features::NUM_FEATURES);
+    let band = embed::DIM / 8;
+    for b in 0..8 {
+        let mut acc = 0.0f64;
+        for k in b * band..(b + 1) * band {
+            acc += (le[k] - re[k]).abs() as f64;
+        }
+        out.push(acc / band as f64);
+    }
+    out.push(embed::cosine_distance(le, re));
+    let dot: f64 = le.iter().zip(re.iter()).map(|(a, b)| (a * b) as f64).sum();
+    out.push(dot);
+    out.extend_from_slice(&fx.features(l, r));
+    out
+}
+
+impl SupervisedMatcher for DeepMatcherSub {
+    fn name(&self) -> &'static str {
+        "DM"
+    }
+
+    fn fit_predict(
+        &self,
+        left: &[String],
+        right: &[String],
+        ground_truth: &[Option<usize>],
+        train_rights: &[usize],
+        _seed: u64,
+    ) -> Vec<ScoredPrediction> {
+        let cands = CandidateSet::generate(left, right);
+        if cands.is_empty() {
+            return Vec::new();
+        }
+        let fx = FeatureExtractor::build(left, right);
+        let left_emb: Vec<Embedding> = left.iter().map(|s| record_embedding(s)).collect();
+        let right_emb: Vec<Embedding> = right.iter().map(|s| record_embedding(s)).collect();
+        let train_set: std::collections::HashSet<usize> = train_rights.iter().copied().collect();
+        let mut samples = Vec::new();
+        for (r, ls) in cands.candidates.iter().enumerate() {
+            if !train_set.contains(&r) {
+                continue;
+            }
+            for &l in ls {
+                samples.push(Sample {
+                    features: pair_features(&fx, &left_emb[l], &right_emb[r], l, r),
+                    label: ground_truth[r] == Some(l),
+                });
+            }
+        }
+        if samples.is_empty() || samples.iter().all(|s| !s.label) || samples.iter().all(|s| s.label)
+        {
+            let scored = cands
+                .pairs()
+                .map(|(r, l)| ScoredPrediction {
+                    right: r,
+                    left: l,
+                    score: 1.0 - embed::cosine_distance(&left_emb[l], &right_emb[r]),
+                })
+                .collect();
+            return best_per_right(scored);
+        }
+        let model = LogisticRegression::fit(&samples, self.epochs, 0.5, 1e-4);
+        let scored = cands
+            .pairs()
+            .map(|(r, l)| ScoredPrediction {
+                right: r,
+                left: l,
+                score: model.predict_proba(&pair_features(&fx, &left_emb[l], &right_emb[r], l, r)),
+            })
+            .collect();
+        best_per_right(scored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::train_test_split;
+
+    #[test]
+    fn learns_something_with_enough_labels() {
+        let left: Vec<String> = (0..60).map(|i| format!("Dover Jazz Festival stage {i}")).collect();
+        let right: Vec<String> = (0..30)
+            .map(|i| format!("Dover Jazz Festival stage {i} (evening)"))
+            .collect();
+        let gt: Vec<Option<usize>> = (0..30).map(Some).collect();
+        let (train, _test) = train_test_split(right.len(), 0.5, 2);
+        let preds = DeepMatcherSub::default().fit_predict(&left, &right, &gt, &train, 1);
+        let correct = preds.iter().filter(|p| gt[p.right] == Some(p.left)).count();
+        assert!(correct >= 15, "correct = {correct}/30");
+    }
+
+    #[test]
+    fn no_labels_falls_back_to_embedding_similarity() {
+        let left = vec!["alpha beta".to_string(), "gamma delta".to_string()];
+        let right = vec!["alpha beta gamma".to_string()];
+        let preds = DeepMatcherSub::default().fit_predict(&left, &right, &[None], &[], 1);
+        assert_eq!(preds.len(), 1);
+    }
+}

@@ -1,0 +1,133 @@
+//! FuzzyWuzzy-style matcher (`FW` in the paper).
+//!
+//! The open-source FuzzyWuzzy package scores a pair with an adapted,
+//! fine-tuned edit-distance ratio.  We implement the package's three classic
+//! ratios — simple ratio, token-sort ratio and token-set ratio — and score a
+//! pair with their weighted maximum, which mirrors FuzzyWuzzy's `WRatio`
+//! behaviour closely enough to reproduce its qualitative results (a single
+//! fixed, character-oriented similarity with no data-dependent tuning).
+
+use crate::common::{CandidateSet, UnsupervisedMatcher};
+use autofj_eval::ScoredPrediction;
+use autofj_text::distance::edit::levenshtein;
+
+/// FuzzyWuzzy-style matcher.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct FuzzyWuzzy;
+
+/// Simple ratio: `1 − lev(a, b) / max(|a|, |b|)` (SequenceMatcher-like).
+pub fn simple_ratio(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la == 0 && lb == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / la.max(lb) as f64
+}
+
+fn normalize(s: &str) -> String {
+    let mut tokens: Vec<String> = s
+        .to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect();
+    tokens.sort();
+    tokens.join(" ")
+}
+
+/// Token-sort ratio: simple ratio over alphabetically sorted token strings.
+pub fn token_sort_ratio(a: &str, b: &str) -> f64 {
+    simple_ratio(&normalize(a), &normalize(b))
+}
+
+/// Token-set ratio: compares the common-token core against each full string
+/// and takes the best, making it insensitive to extra tokens on one side.
+pub fn token_set_ratio(a: &str, b: &str) -> f64 {
+    use std::collections::BTreeSet;
+    let ta: BTreeSet<String> = normalize(a).split(' ').map(str::to_string).collect();
+    let tb: BTreeSet<String> = normalize(b).split(' ').map(str::to_string).collect();
+    let common: Vec<String> = ta.intersection(&tb).cloned().collect();
+    let common_s = common.join(" ");
+    let full_a = ta.iter().cloned().collect::<Vec<_>>().join(" ");
+    let full_b = tb.iter().cloned().collect::<Vec<_>>().join(" ");
+    let r1 = simple_ratio(&common_s, &full_a);
+    let r2 = simple_ratio(&common_s, &full_b);
+    let r3 = simple_ratio(&full_a, &full_b);
+    r1.max(r2).max(r3)
+}
+
+/// FuzzyWuzzy's weighted-ratio style combination.
+pub fn wratio(a: &str, b: &str) -> f64 {
+    let base = simple_ratio(a, b);
+    let tsr = token_sort_ratio(a, b) * 0.95;
+    let tse = token_set_ratio(a, b) * 0.95;
+    base.max(tsr).max(tse)
+}
+
+impl UnsupervisedMatcher for FuzzyWuzzy {
+    fn name(&self) -> &'static str {
+        "FW"
+    }
+
+    fn predict(&self, left: &[String], right: &[String]) -> Vec<ScoredPrediction> {
+        let cands = CandidateSet::generate(left, right);
+        let mut out = Vec::new();
+        for (r, ls) in cands.candidates.iter().enumerate() {
+            let mut best: Option<ScoredPrediction> = None;
+            for &l in ls {
+                let score = wratio(&left[l], &right[r]);
+                if best.map_or(true, |b| score > b.score) {
+                    best = Some(ScoredPrediction { right: r, left: l, score });
+                }
+            }
+            if let Some(b) = best {
+                out.push(b);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_are_one_for_identical_strings() {
+        assert!((simple_ratio("new york mets", "new york mets") - 1.0).abs() < 1e-12);
+        assert!((token_sort_ratio("mets new york", "new york mets") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn token_set_ratio_ignores_extra_tokens() {
+        let r = token_set_ratio("new york mets", "new york mets baseball club official site");
+        assert!(r > 0.95, "r = {r}");
+    }
+
+    #[test]
+    fn wratio_is_bounded_and_symmetricish() {
+        let a = wratio("alpha beta", "beta alpha gamma");
+        assert!((0.0..=1.0).contains(&a));
+        let b = wratio("beta alpha gamma", "alpha beta");
+        assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predict_matches_obvious_pair() {
+        let left: Vec<String> = (0..20)
+            .map(|i| format!("Riverside Memorial Stadium {i}"))
+            .collect();
+        let right = vec!["Riverside Memorial Stadum 7".to_string()];
+        let preds = FuzzyWuzzy.predict(&left, &right);
+        assert_eq!(preds.len(), 1);
+        assert_eq!(preds[0].left, 7);
+        assert!(preds[0].score > 0.9);
+    }
+
+    #[test]
+    fn empty_strings_do_not_panic() {
+        assert_eq!(simple_ratio("", ""), 1.0);
+        assert!(wratio("", "abc") <= 1.0);
+    }
+}

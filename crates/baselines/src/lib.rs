@@ -1,0 +1,48 @@
+//! # autofj-baselines
+//!
+//! The comparison methods of the Auto-FuzzyJoin evaluation (§5.1.3 of the
+//! paper), implemented from scratch so the whole benchmark is self-hosted:
+//!
+//! **Unsupervised**
+//! * [`static_best::StaticJoinFunction`] — a single fixed join function
+//!   (`BSJ` picks the best one across datasets in the harness).
+//! * [`excel_like::ExcelLike`] — Excel Fuzzy Lookup-style weighted hybrid.
+//! * [`fuzzywuzzy::FuzzyWuzzy`] — FuzzyWuzzy-style edit-distance ratios.
+//! * [`ppjoin::PpJoin`] — prefix-filtered Jaccard set-similarity join.
+//! * [`ecm::Ecm`] — Fellegi–Sunter with ECM EM over binarized features.
+//! * [`zeroer::ZeroEr`] — two-component Gaussian-mixture matcher.
+//!
+//! **Supervised** (trained on 50 % of the ground truth, per the paper)
+//! * [`magellan::MagellanRf`] — random forest over similarity features.
+//! * [`deepmatcher::DeepMatcherSub`] — embedding + logistic substitute for
+//!   DeepMatcher (see DESIGN.md for the substitution rationale).
+//! * [`active_learning::ActiveLearning`] — uncertainty-sampling AL.
+//!
+//! All methods consume the same blocked candidate pairs and emit
+//! [`autofj_eval::ScoredPrediction`]s so the harness can apply the paper's
+//! adjusted-recall and PR-AUC protocols uniformly.
+
+pub mod active_learning;
+pub mod common;
+pub mod deepmatcher;
+pub mod ecm;
+pub mod excel_like;
+pub mod features;
+pub mod fuzzywuzzy;
+pub mod magellan;
+pub mod ml;
+pub mod ppjoin;
+pub mod static_best;
+pub mod zeroer;
+
+pub use active_learning::ActiveLearning;
+pub use common::{best_per_right, train_test_split, CandidateSet, SupervisedMatcher, UnsupervisedMatcher};
+pub use deepmatcher::DeepMatcherSub;
+pub use ecm::Ecm;
+pub use excel_like::ExcelLike;
+pub use features::FeatureExtractor;
+pub use fuzzywuzzy::FuzzyWuzzy;
+pub use magellan::MagellanRf;
+pub use ppjoin::PpJoin;
+pub use static_best::StaticJoinFunction;
+pub use zeroer::ZeroEr;

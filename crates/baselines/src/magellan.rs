@@ -1,0 +1,150 @@
+//! Magellan-style supervised matcher (`Magellan` in the paper).
+//!
+//! Magellan (Konda et al., VLDB 2016) trains conventional ML classifiers —
+//! the paper uses a random forest — on similarity features of labeled
+//! candidate pairs.  Our substitution keeps the protocol identical: the same
+//! blocked candidate pairs, the same similarity-feature vectors, a random
+//! forest trained on the candidate pairs whose right records fall in the
+//! training split (positives = ground-truth pairs, negatives = other
+//! candidates), scores for every candidate pair at inference time.
+
+use crate::common::{best_per_right, CandidateSet, SupervisedMatcher};
+use crate::features::FeatureExtractor;
+use crate::ml::{RandomForest, Sample};
+use autofj_eval::ScoredPrediction;
+
+/// Random-forest supervised matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct MagellanRf {
+    /// Number of trees in the forest.
+    pub num_trees: usize,
+}
+
+impl Default for MagellanRf {
+    fn default() -> Self {
+        Self { num_trees: 20 }
+    }
+}
+
+/// Build training samples from the candidate pairs of the training rights.
+pub(crate) fn training_samples(
+    cands: &CandidateSet,
+    fx: &FeatureExtractor,
+    ground_truth: &[Option<usize>],
+    train_rights: &[usize],
+) -> Vec<Sample> {
+    let train_set: std::collections::HashSet<usize> = train_rights.iter().copied().collect();
+    let mut samples = Vec::new();
+    for (r, ls) in cands.candidates.iter().enumerate() {
+        if !train_set.contains(&r) {
+            continue;
+        }
+        for &l in ls {
+            samples.push(Sample {
+                features: fx.features(l, r).to_vec(),
+                label: ground_truth[r] == Some(l),
+            });
+        }
+        // Make sure the true pair is present even if blocking dropped it —
+        // labeled training data in the paper's protocol contains all
+        // ground-truth matches of the training split.
+        if let Some(l_true) = ground_truth[r] {
+            if !ls.contains(&l_true) {
+                samples.push(Sample {
+                    features: fx.features(l_true, r).to_vec(),
+                    label: true,
+                });
+            }
+        }
+    }
+    samples
+}
+
+impl SupervisedMatcher for MagellanRf {
+    fn name(&self) -> &'static str {
+        "Magellan"
+    }
+
+    fn fit_predict(
+        &self,
+        left: &[String],
+        right: &[String],
+        ground_truth: &[Option<usize>],
+        train_rights: &[usize],
+        seed: u64,
+    ) -> Vec<ScoredPrediction> {
+        let cands = CandidateSet::generate(left, right);
+        if cands.is_empty() {
+            return Vec::new();
+        }
+        let fx = FeatureExtractor::build(left, right);
+        let samples = training_samples(&cands, &fx, ground_truth, train_rights);
+        if samples.is_empty() || samples.iter().all(|s| !s.label) || samples.iter().all(|s| s.label)
+        {
+            // Degenerate training data: fall back to the mean similarity.
+            let scored = cands
+                .pairs()
+                .map(|(r, l)| {
+                    let f = fx.features(l, r);
+                    ScoredPrediction {
+                        right: r,
+                        left: l,
+                        score: f.iter().sum::<f64>() / f.len() as f64,
+                    }
+                })
+                .collect();
+            return best_per_right(scored);
+        }
+        let forest = RandomForest::fit(&samples, self.num_trees, seed);
+        let scored = cands
+            .pairs()
+            .map(|(r, l)| ScoredPrediction {
+                right: r,
+                left: l,
+                score: forest.predict_proba(&fx.features(l, r)),
+            })
+            .collect();
+        best_per_right(scored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::train_test_split;
+
+    fn task() -> (Vec<String>, Vec<String>, Vec<Option<usize>>) {
+        let left: Vec<String> = (0..60)
+            .map(|i| format!("Fairview {} Bistro table {i}", ["Thai", "Greek", "Korean"][i % 3]))
+            .collect();
+        let right: Vec<String> = (0..30)
+            .map(|i| format!("Fairview {} Bistro table {i} (patio)", ["Thai", "Greek", "Korean"][i % 3]))
+            .collect();
+        let gt: Vec<Option<usize>> = (0..30).map(Some).collect();
+        (left, right, gt)
+    }
+
+    #[test]
+    fn random_forest_matcher_learns_the_task() {
+        let (left, right, gt) = task();
+        let (train, test) = train_test_split(right.len(), 0.5, 1);
+        let preds = MagellanRf::default().fit_predict(&left, &right, &gt, &train, 3);
+        let correct_test = preds
+            .iter()
+            .filter(|p| test.contains(&p.right) && gt[p.right] == Some(p.left))
+            .count();
+        assert!(
+            correct_test as f64 >= 0.6 * test.len() as f64,
+            "correct on test = {correct_test}/{}",
+            test.len()
+        );
+    }
+
+    #[test]
+    fn degenerate_training_split_does_not_panic() {
+        let (left, right, _) = task();
+        let gt_none: Vec<Option<usize>> = vec![None; right.len()];
+        let preds = MagellanRf::default().fit_predict(&left, &right, &gt_none, &[0, 1, 2], 3);
+        assert!(!preds.is_empty());
+    }
+}

@@ -1,0 +1,365 @@
+//! Small, self-contained learning machinery used by the supervised and
+//! probabilistic baselines: CART decision trees, a bagged random forest and a
+//! logistic-regression classifier.  Nothing here is specific to fuzzy joins —
+//! these are plain binary classifiers over fixed-length `f64` feature
+//! vectors — but implementing them in-repo keeps the benchmark fully
+//! self-hosted (the paper's Magellan/DeepMatcher baselines depend on
+//! scikit-learn / PyTorch).
+
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// A training / inference sample.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Feature vector.
+    pub features: Vec<f64>,
+    /// Binary label (true = match).
+    pub label: bool,
+}
+
+/// Hyper-parameters of a decision tree.
+#[derive(Debug, Clone, Copy)]
+pub struct TreeParams {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum number of samples required to split a node.
+    pub min_samples_split: usize,
+    /// Number of random features considered per split (`0` = all).
+    pub features_per_split: usize,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self {
+            max_depth: 8,
+            min_samples_split: 4,
+            features_per_split: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf {
+        prob: f64,
+    },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: Box<Node>,
+        right: Box<Node>,
+    },
+}
+
+/// A CART-style binary decision tree with Gini impurity splits.
+#[derive(Debug, Clone)]
+pub struct DecisionTree {
+    root: Node,
+}
+
+fn gini(pos: f64, total: f64) -> f64 {
+    if total <= 0.0 {
+        return 0.0;
+    }
+    let p = pos / total;
+    2.0 * p * (1.0 - p)
+}
+
+fn build_node(
+    samples: &[&Sample],
+    params: &TreeParams,
+    depth: usize,
+    rng: &mut SmallRng,
+) -> Node {
+    let total = samples.len() as f64;
+    let pos = samples.iter().filter(|s| s.label).count() as f64;
+    let prob = if total == 0.0 { 0.5 } else { pos / total };
+    if depth >= params.max_depth
+        || samples.len() < params.min_samples_split
+        || pos == 0.0
+        || pos == total
+    {
+        return Node::Leaf { prob };
+    }
+    let num_features = samples[0].features.len();
+    let mut feature_ids: Vec<usize> = (0..num_features).collect();
+    if params.features_per_split > 0 && params.features_per_split < num_features {
+        feature_ids.shuffle(rng);
+        feature_ids.truncate(params.features_per_split);
+    }
+    let parent_gini = gini(pos, total);
+    let mut best: Option<(usize, f64, f64)> = None; // (feature, threshold, gain)
+    for &f in &feature_ids {
+        // Candidate thresholds: midpoints of a few quantiles.
+        let mut values: Vec<f64> = samples.iter().map(|s| s.features[f]).collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        values.dedup();
+        if values.len() < 2 {
+            continue;
+        }
+        let steps = values.len().min(16);
+        for k in 1..steps {
+            let idx = k * (values.len() - 1) / steps;
+            let threshold = (values[idx] + values[idx.saturating_sub(1)]) / 2.0;
+            let mut lp = 0.0;
+            let mut lt = 0.0;
+            let mut rp = 0.0;
+            let mut rt = 0.0;
+            for s in samples {
+                if s.features[f] <= threshold {
+                    lt += 1.0;
+                    if s.label {
+                        lp += 1.0;
+                    }
+                } else {
+                    rt += 1.0;
+                    if s.label {
+                        rp += 1.0;
+                    }
+                }
+            }
+            if lt == 0.0 || rt == 0.0 {
+                continue;
+            }
+            let weighted = (lt / total) * gini(lp, lt) + (rt / total) * gini(rp, rt);
+            let gain = parent_gini - weighted;
+            if best.map_or(true, |(_, _, g)| gain > g) {
+                best = Some((f, threshold, gain));
+            }
+        }
+    }
+    match best {
+        Some((feature, threshold, gain)) if gain > 1e-9 => {
+            let left_samples: Vec<&Sample> = samples
+                .iter()
+                .copied()
+                .filter(|s| s.features[feature] <= threshold)
+                .collect();
+            let right_samples: Vec<&Sample> = samples
+                .iter()
+                .copied()
+                .filter(|s| s.features[feature] > threshold)
+                .collect();
+            Node::Split {
+                feature,
+                threshold,
+                left: Box::new(build_node(&left_samples, params, depth + 1, rng)),
+                right: Box::new(build_node(&right_samples, params, depth + 1, rng)),
+            }
+        }
+        _ => Node::Leaf { prob },
+    }
+}
+
+impl DecisionTree {
+    /// Fit a tree on the samples.
+    pub fn fit(samples: &[Sample], params: TreeParams, seed: u64) -> Self {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let refs: Vec<&Sample> = samples.iter().collect();
+        Self {
+            root: build_node(&refs, &params, 0, &mut rng),
+        }
+    }
+
+    /// Predicted probability of the positive class.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                Node::Leaf { prob } => return *prob,
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if features[*feature] <= *threshold {
+                        left
+                    } else {
+                        right
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// A bagged random forest of CART trees.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<DecisionTree>,
+}
+
+impl RandomForest {
+    /// Fit `num_trees` trees on bootstrap resamples with √d feature sampling.
+    pub fn fit(samples: &[Sample], num_trees: usize, seed: u64) -> Self {
+        assert!(!samples.is_empty(), "cannot fit a forest on no samples");
+        let num_features = samples[0].features.len();
+        let params = TreeParams {
+            max_depth: 10,
+            min_samples_split: 4,
+            features_per_split: (num_features as f64).sqrt().ceil() as usize,
+        };
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let trees = (0..num_trees)
+            .map(|t| {
+                let boot: Vec<Sample> = (0..samples.len())
+                    .map(|_| samples[rng.gen_range(0..samples.len())].clone())
+                    .collect();
+                DecisionTree::fit(&boot, params, seed ^ (t as u64 + 1) * 0x9E37)
+            })
+            .collect();
+        Self { trees }
+    }
+
+    /// Mean predicted probability across trees.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        if self.trees.is_empty() {
+            return 0.5;
+        }
+        self.trees
+            .iter()
+            .map(|t| t.predict_proba(features))
+            .sum::<f64>()
+            / self.trees.len() as f64
+    }
+}
+
+/// L2-regularized logistic regression trained with full-batch gradient
+/// descent.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+fn sigmoid(z: f64) -> f64 {
+    1.0 / (1.0 + (-z).exp())
+}
+
+impl LogisticRegression {
+    /// Fit the model.
+    pub fn fit(samples: &[Sample], epochs: usize, learning_rate: f64, l2: f64) -> Self {
+        assert!(!samples.is_empty(), "cannot fit on no samples");
+        let d = samples[0].features.len();
+        let mut weights = vec![0.0; d];
+        let mut bias = 0.0;
+        let n = samples.len() as f64;
+        for _ in 0..epochs {
+            let mut grad_w = vec![0.0; d];
+            let mut grad_b = 0.0;
+            for s in samples {
+                let z: f64 = s
+                    .features
+                    .iter()
+                    .zip(&weights)
+                    .map(|(x, w)| x * w)
+                    .sum::<f64>()
+                    + bias;
+                let err = sigmoid(z) - if s.label { 1.0 } else { 0.0 };
+                for (g, x) in grad_w.iter_mut().zip(&s.features) {
+                    *g += err * x;
+                }
+                grad_b += err;
+            }
+            for (w, g) in weights.iter_mut().zip(&grad_w) {
+                *w -= learning_rate * (g / n + l2 * *w);
+            }
+            bias -= learning_rate * grad_b / n;
+        }
+        Self { weights, bias }
+    }
+
+    /// Predicted probability of the positive class.
+    pub fn predict_proba(&self, features: &[f64]) -> f64 {
+        let z: f64 = features
+            .iter()
+            .zip(&self.weights)
+            .map(|(x, w)| x * w)
+            .sum::<f64>()
+            + self.bias;
+        sigmoid(z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Linearly separable toy data: positive iff feature 0 > 0.5.
+    fn toy_data(n: usize, seed: u64) -> Vec<Sample> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x0: f64 = rng.gen();
+                let x1: f64 = rng.gen();
+                Sample {
+                    features: vec![x0, x1],
+                    label: x0 > 0.5,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn decision_tree_learns_separable_data() {
+        let data = toy_data(300, 1);
+        let tree = DecisionTree::fit(&data, TreeParams::default(), 7);
+        let mut correct = 0;
+        for s in toy_data(200, 2) {
+            let p = tree.predict_proba(&s.features);
+            if (p > 0.5) == s.label {
+                correct += 1;
+            }
+        }
+        assert!(correct > 180, "tree accuracy too low: {correct}/200");
+    }
+
+    #[test]
+    fn forest_beats_chance_and_is_bounded() {
+        let data = toy_data(300, 3);
+        let forest = RandomForest::fit(&data, 15, 11);
+        let mut correct = 0;
+        for s in toy_data(200, 4) {
+            let p = forest.predict_proba(&s.features);
+            assert!((0.0..=1.0).contains(&p));
+            if (p > 0.5) == s.label {
+                correct += 1;
+            }
+        }
+        assert!(correct > 180, "forest accuracy too low: {correct}/200");
+    }
+
+    #[test]
+    fn logistic_regression_learns_separable_data() {
+        let data = toy_data(300, 5);
+        let model = LogisticRegression::fit(&data, 300, 0.5, 1e-4);
+        let mut correct = 0;
+        for s in toy_data(200, 6) {
+            if (model.predict_proba(&s.features) > 0.5) == s.label {
+                correct += 1;
+            }
+        }
+        assert!(correct > 175, "logistic accuracy too low: {correct}/200");
+    }
+
+    #[test]
+    fn single_class_training_data_gives_constant_predictions() {
+        let data: Vec<Sample> = (0..20)
+            .map(|i| Sample {
+                features: vec![i as f64],
+                label: true,
+            })
+            .collect();
+        let tree = DecisionTree::fit(&data, TreeParams::default(), 1);
+        assert_eq!(tree.predict_proba(&[3.0]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn forest_on_empty_data_panics() {
+        let _ = RandomForest::fit(&[], 3, 1);
+    }
+}

@@ -1,0 +1,92 @@
+//! Best Static Join function (`BSJ` in the paper).
+//!
+//! The BSJ baseline evaluates every individual join function of the search
+//! space as a *fixed* (static) matcher and reports the one with the best
+//! average adjusted recall across all datasets — i.e. the best configuration
+//! a practitioner could pick once and use everywhere.  This module provides
+//! the per-function matcher; the cross-dataset selection happens in the
+//! experiment harness.
+
+use crate::common::{CandidateSet, UnsupervisedMatcher};
+use autofj_eval::ScoredPrediction;
+use autofj_text::{JoinFunction, PreparedColumn};
+
+/// A matcher that scores pairs with a single fixed join function.
+#[derive(Debug, Clone, Copy)]
+pub struct StaticJoinFunction {
+    /// The join function used for scoring (similarity = 1 − distance).
+    pub function: JoinFunction,
+}
+
+impl StaticJoinFunction {
+    /// Wrap a join function as a static matcher.
+    pub fn new(function: JoinFunction) -> Self {
+        Self { function }
+    }
+}
+
+impl UnsupervisedMatcher for StaticJoinFunction {
+    fn name(&self) -> &'static str {
+        "BSJ"
+    }
+
+    fn predict(&self, left: &[String], right: &[String]) -> Vec<ScoredPrediction> {
+        let cands = CandidateSet::generate(left, right);
+        let mut all: Vec<&str> = left.iter().map(String::as_str).collect();
+        all.extend(right.iter().map(String::as_str));
+        let col = PreparedColumn::build(&all);
+        let mut out = Vec::new();
+        for (r, ls) in cands.candidates.iter().enumerate() {
+            let mut best: Option<ScoredPrediction> = None;
+            for &l in ls {
+                let score = 1.0 - self.function.distance(&col, l, left.len() + r);
+                if best.map_or(true, |b| score > b.score) {
+                    best = Some(ScoredPrediction { right: r, left: l, score });
+                }
+            }
+            if let Some(b) = best {
+                out.push(b);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofj_text::{DistanceFunction, Preprocessing, Tokenization, TokenWeighting};
+
+    #[test]
+    fn static_jaccard_matches_obvious_pair() {
+        let f = JoinFunction::set_based(
+            Preprocessing::Lower,
+            Tokenization::Space,
+            TokenWeighting::Equal,
+            DistanceFunction::Jaccard,
+        );
+        let left: Vec<String> = (0..30)
+            .map(|i| format!("Salem County Library branch {i}"))
+            .collect();
+        let right = vec!["Salem County Library branch 11 (new)".to_string()];
+        let preds = StaticJoinFunction::new(f).predict(&left, &right);
+        assert_eq!(preds[0].left, 11);
+        assert!(preds[0].score > 0.6);
+    }
+
+    #[test]
+    fn different_functions_give_different_scores() {
+        let jac = JoinFunction::set_based(
+            Preprocessing::Lower,
+            Tokenization::Space,
+            TokenWeighting::Equal,
+            DistanceFunction::Jaccard,
+        );
+        let ed = JoinFunction::char_based(Preprocessing::Lower, DistanceFunction::Edit);
+        let left = vec!["alpha beta gamma delta".to_string()];
+        let right = vec!["alpha beta gamma".to_string()];
+        let a = StaticJoinFunction::new(jac).predict(&left, &right)[0].score;
+        let b = StaticJoinFunction::new(ed).predict(&left, &right)[0].score;
+        assert!((a - b).abs() > 1e-6);
+    }
+}

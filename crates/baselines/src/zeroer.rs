@@ -1,0 +1,169 @@
+//! ZeroER-style unsupervised matcher (the `ZeroER` baseline of the paper).
+//!
+//! ZeroER (Wu et al., SIGMOD 2020) models similarity-feature vectors of
+//! candidate pairs as a two-component Gaussian mixture (match vs. non-match)
+//! and scores each pair with its posterior match probability.  We implement
+//! the core generative model — a diagonal-covariance two-component GMM fit
+//! with EM, initialized from the overall similarity ordering — without
+//! ZeroER's additional transitivity regularizers (which mostly matter for
+//! dirty many-to-many settings, not the many-to-one reference-table setting
+//! benchmarked here).
+
+use crate::common::{CandidateSet, UnsupervisedMatcher};
+use crate::features::{FeatureExtractor, NUM_FEATURES};
+use autofj_eval::ScoredPrediction;
+
+/// ZeroER-style Gaussian-mixture matcher.
+#[derive(Debug, Clone, Copy)]
+pub struct ZeroEr {
+    /// Number of EM iterations.
+    pub iterations: usize,
+}
+
+impl Default for ZeroEr {
+    fn default() -> Self {
+        Self { iterations: 60 }
+    }
+}
+
+/// Fit a two-component diagonal GMM and return posterior probabilities of the
+/// "match" component (the one initialized from the most similar rows).
+pub fn fit_gmm_posteriors(rows: &[Vec<f64>], iterations: usize) -> Vec<f64> {
+    let n = rows.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = rows[0].len();
+    // Initialize responsibilities from the mean feature value: top rows are
+    // tentative matches.
+    let avg: Vec<f64> = rows.iter().map(|r| r.iter().sum::<f64>() / d as f64).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| avg[b].partial_cmp(&avg[a]).unwrap_or(std::cmp::Ordering::Equal));
+    let top = (n / 5).max(1);
+    let mut resp: Vec<f64> = vec![0.1; n];
+    for &i in order.iter().take(top) {
+        resp[i] = 0.9;
+    }
+
+    let mut prior;
+    let mut mean = [vec![0.7; d], vec![0.2; d]]; // [match, non-match]
+    let mut var = [vec![0.05; d], vec![0.05; d]];
+    for _ in 0..iterations {
+        // M-step.
+        let w_match: f64 = resp.iter().sum();
+        let w_un: f64 = n as f64 - w_match;
+        prior = (w_match / n as f64).clamp(1e-3, 1.0 - 1e-3);
+        for k in 0..d {
+            let mut m0 = 0.0;
+            let mut m1 = 0.0;
+            for (r, row) in rows.iter().enumerate() {
+                m0 += resp[r] * row[k];
+                m1 += (1.0 - resp[r]) * row[k];
+            }
+            mean[0][k] = m0 / w_match.max(1e-9);
+            mean[1][k] = m1 / w_un.max(1e-9);
+            let mut v0 = 0.0;
+            let mut v1 = 0.0;
+            for (r, row) in rows.iter().enumerate() {
+                v0 += resp[r] * (row[k] - mean[0][k]).powi(2);
+                v1 += (1.0 - resp[r]) * (row[k] - mean[1][k]).powi(2);
+            }
+            var[0][k] = (v0 / w_match.max(1e-9)).max(1e-4);
+            var[1][k] = (v1 / w_un.max(1e-9)).max(1e-4);
+        }
+        // E-step.
+        for (r, row) in rows.iter().enumerate() {
+            let mut log_m = prior.ln();
+            let mut log_u = (1.0 - prior).ln();
+            for k in 0..d {
+                log_m += log_gauss(row[k], mean[0][k], var[0][k]);
+                log_u += log_gauss(row[k], mean[1][k], var[1][k]);
+            }
+            let mx = log_m.max(log_u);
+            let pm = (log_m - mx).exp();
+            let pu = (log_u - mx).exp();
+            resp[r] = pm / (pm + pu);
+        }
+    }
+    // The "match" component must be the one with the larger mean similarity;
+    // swap posteriors if EM drifted the other way.
+    let m0: f64 = mean[0].iter().sum();
+    let m1: f64 = mean[1].iter().sum();
+    if m0 < m1 {
+        for r in resp.iter_mut() {
+            *r = 1.0 - *r;
+        }
+    }
+    resp
+}
+
+fn log_gauss(x: f64, mean: f64, var: f64) -> f64 {
+    -0.5 * ((x - mean).powi(2) / var + var.ln() + (2.0 * std::f64::consts::PI).ln())
+}
+
+impl UnsupervisedMatcher for ZeroEr {
+    fn name(&self) -> &'static str {
+        "ZeroER"
+    }
+
+    fn predict(&self, left: &[String], right: &[String]) -> Vec<ScoredPrediction> {
+        let cands = CandidateSet::generate(left, right);
+        if cands.is_empty() {
+            return Vec::new();
+        }
+        let fx = FeatureExtractor::build(left, right);
+        let pairs: Vec<(usize, usize)> = cands.pairs().collect();
+        let rows: Vec<Vec<f64>> = pairs
+            .iter()
+            .map(|&(r, l)| fx.features(l, r)[..NUM_FEATURES].to_vec())
+            .collect();
+        let posteriors = fit_gmm_posteriors(&rows, self.iterations);
+        let scored: Vec<ScoredPrediction> = pairs
+            .iter()
+            .zip(&posteriors)
+            .map(|(&(r, l), &p)| ScoredPrediction {
+                right: r,
+                left: l,
+                score: p,
+            })
+            .collect();
+        crate::common::best_per_right(scored)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn gmm_separates_two_blobs() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let mut rows = Vec::new();
+        for i in 0..200 {
+            let high = i < 60;
+            let center = if high { 0.85 } else { 0.25 };
+            rows.push((0..4).map(|_| center + rng.gen_range(-0.1..0.1)).collect());
+        }
+        let post = fit_gmm_posteriors(&rows, 50);
+        let hi: f64 = post[..60].iter().sum::<f64>() / 60.0;
+        let lo: f64 = post[60..].iter().sum::<f64>() / 140.0;
+        assert!(hi > 0.8, "high-similarity rows should be matches, got {hi}");
+        assert!(lo < 0.2, "low-similarity rows should be non-matches, got {lo}");
+    }
+
+    #[test]
+    fn predict_prefers_true_counterparts() {
+        let left: Vec<String> = (0..40).map(|i| format!("Kingston {} Gallery hall {i}", i % 5)).collect();
+        let right: Vec<String> = (0..10).map(|i| format!("Kingston {} Gallery hall {i} east", i % 5)).collect();
+        let preds = ZeroEr::default().predict(&left, &right);
+        let correct = preds.iter().filter(|p| p.left == p.right).count();
+        assert!(correct >= 7, "only {correct}/10 correct");
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        assert!(ZeroEr::default().predict(&[], &[]).is_empty());
+    }
+}

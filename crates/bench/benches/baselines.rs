@@ -1,0 +1,47 @@
+//! Microbenchmarks of the baseline matchers on one small benchmark task
+//! (the relative ordering feeds Figure 7(b)).
+
+use autofj_baselines::train_test_split;
+use autofj_baselines::{
+    Ecm, ExcelLike, FuzzyWuzzy, MagellanRf, PpJoin, SupervisedMatcher, UnsupervisedMatcher, ZeroEr,
+};
+use autofj_datagen::{benchmark_specs, BenchmarkScale};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn bench_baselines(c: &mut Criterion) {
+    let task = benchmark_specs(BenchmarkScale::Tiny)[36].generate();
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("excel_like", |b| {
+        b.iter(|| black_box(ExcelLike::default().predict(&task.left, &task.right)))
+    });
+    group.bench_function("fuzzywuzzy", |b| {
+        b.iter(|| black_box(FuzzyWuzzy.predict(&task.left, &task.right)))
+    });
+    group.bench_function("ppjoin", |b| {
+        b.iter(|| black_box(PpJoin::default().predict(&task.left, &task.right)))
+    });
+    group.bench_function("ecm", |b| {
+        b.iter(|| black_box(Ecm::default().predict(&task.left, &task.right)))
+    });
+    group.bench_function("zeroer", |b| {
+        b.iter(|| black_box(ZeroEr::default().predict(&task.left, &task.right)))
+    });
+    let (train, _) = train_test_split(task.right.len(), 0.5, 1);
+    group.bench_function("magellan_rf", |b| {
+        b.iter(|| {
+            black_box(MagellanRf::default().fit_predict(
+                &task.left,
+                &task.right,
+                &task.ground_truth,
+                &train,
+                1,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

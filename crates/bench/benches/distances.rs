@@ -1,0 +1,81 @@
+//! Microbenchmarks of the distance-function substrate (one per distance
+//! family of Table 1).
+
+use autofj_text::{
+    DistanceFunction, JoinFunction, PreparedColumn, Preprocessing, Tokenization, TokenWeighting,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+fn sample_column() -> PreparedColumn {
+    let strings: Vec<String> = (0..200)
+        .map(|i| {
+            format!(
+                "{} {} {} {} team season {i}",
+                1990 + i % 25,
+                ["Wisconsin", "Alabama", "Oregon", "Mississippi"][i % 4],
+                ["Badgers", "Crimson Tide", "Ducks", "Bulldogs"][i % 4],
+                ["football", "baseball", "basketball"][i % 3],
+            )
+        })
+        .collect();
+    PreparedColumn::build(&strings)
+}
+
+fn bench_distances(c: &mut Criterion) {
+    let col = sample_column();
+    let functions = [
+        ("edit", JoinFunction::char_based(Preprocessing::Lower, DistanceFunction::Edit)),
+        ("jaro_winkler", JoinFunction::char_based(Preprocessing::Lower, DistanceFunction::JaroWinkler)),
+        (
+            "jaccard_space_ew",
+            JoinFunction::set_based(
+                Preprocessing::Lower,
+                Tokenization::Space,
+                TokenWeighting::Equal,
+                DistanceFunction::Jaccard,
+            ),
+        ),
+        (
+            "cosine_3g_idf",
+            JoinFunction::set_based(
+                Preprocessing::Lower,
+                Tokenization::Gram3,
+                TokenWeighting::Idf,
+                DistanceFunction::Cosine,
+            ),
+        ),
+        (
+            "contain_jaccard",
+            JoinFunction::set_based(
+                Preprocessing::Lower,
+                Tokenization::Space,
+                TokenWeighting::Equal,
+                DistanceFunction::ContainJaccard,
+            ),
+        ),
+        ("embedding", JoinFunction::embedding(Preprocessing::Lower)),
+    ];
+    let mut group = c.benchmark_group("distances_200_pairs");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (name, f) in functions {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut acc = 0.0;
+                for i in 0..200 {
+                    acc += f.distance(&col, i, (i * 7 + 13) % 200);
+                }
+                black_box(acc)
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("prepare_column");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("build_200_records", |b| b.iter(sample_column));
+    group.finish();
+}
+
+criterion_group!(benches, bench_distances);
+criterion_main!(benches);

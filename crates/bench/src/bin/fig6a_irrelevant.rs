@@ -1,0 +1,58 @@
+//! Figure 6(a) — robustness to irrelevant records added to `R`.
+//!
+//! Sweeps the fraction of irrelevant records (drawn from other tasks'
+//! reference tables) mixed into `R` and reports AutoFJ's average precision
+//! and recall over the benchmark tasks at each point.
+
+use autofj_bench::runner::{autofj_options, run_autofj};
+use autofj_bench::{env_scale, env_space, env_task_limit, write_json, Reporter};
+use autofj_datagen::adversarial::add_irrelevant_records;
+use autofj_datagen::benchmark_specs;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    irrelevant_fraction: f64,
+    precision: f64,
+    recall: f64,
+}
+
+fn main() {
+    let specs = benchmark_specs(env_scale());
+    let limit = env_task_limit().min(specs.len()).min(12);
+    let space = env_space();
+    let options = autofj_options();
+    let tasks: Vec<_> = specs.iter().take(limit).map(|s| s.generate()).collect();
+    // Donor pool: reference records from every other task.
+    let fractions = [0.0, 0.2, 0.4, 0.6, 0.8];
+    let mut reporter = Reporter::new(
+        "Figure 6(a): adding irrelevant records to R",
+        &["Irrelevant fraction", "Avg precision", "Avg recall"],
+    );
+    let mut points = Vec::new();
+    for &fraction in &fractions {
+        let mut psum = 0.0;
+        let mut rsum = 0.0;
+        for (i, task) in tasks.iter().enumerate() {
+            let donor: Vec<String> = tasks[(i + 1) % tasks.len()].left.clone();
+            let noisy = add_irrelevant_records(task, &donor, fraction, 0xF16A + i as u64);
+            let (_res, q, _, _) = run_autofj(&noisy, &space, &options);
+            psum += q.precision;
+            rsum += q.recall_relative;
+            eprintln!("[fig6a] {} @ {:.0}% done", task.name, fraction * 100.0);
+        }
+        let point = Point {
+            irrelevant_fraction: fraction,
+            precision: psum / tasks.len() as f64,
+            recall: rsum / tasks.len() as f64,
+        };
+        reporter.add_metric_row(
+            &format!("{:.0}%", fraction * 100.0),
+            &[point.precision, point.recall],
+        );
+        points.push(point);
+    }
+    reporter.print();
+    let path = write_json("fig6a_irrelevant", &points);
+    println!("JSON written to {}", path.display());
+}

@@ -1,0 +1,74 @@
+//! Figure 6(b) — the zero-fuzzy-join adversarial test.
+//!
+//! Pairs the reference table of one domain with the query table of a
+//! completely unrelated domain (10 cases), so every produced join is a false
+//! positive, and reports the false-positive rate (joins / |R|) of AutoFJ and
+//! of the Excel baseline thresholded at its default similarity.
+
+use autofj_bench::runner::{autofj_options, run_autofj};
+use autofj_bench::{env_scale, env_space, write_json, Reporter};
+use autofj_baselines::{ExcelLike, UnsupervisedMatcher};
+use autofj_datagen::adversarial::unrelated_pair;
+use autofj_datagen::benchmark_specs;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Case {
+    pair: String,
+    autofj_fp_rate: f64,
+    excel_fp_rate: f64,
+}
+
+fn main() {
+    let specs = benchmark_specs(env_scale());
+    let space = env_space();
+    let options = autofj_options();
+    // 10 unrelated (left-domain, right-domain) pairs, mirroring the paper's
+    // "Satellites joined with Hospitals" construction.
+    let pairs: [(usize, usize); 10] = [
+        (1, 21),  // ArtificialSatellite × Hospital
+        (10, 44), // Drug × TelevisionStation
+        (16, 19), // Galaxy × HistoricBuilding
+        (34, 11), // Reptile × Election
+        (7, 40),  // CAR × Song
+        (17, 43), // GivenName × Stadium
+        (12, 33), // Enzyme × RailwayLine
+        (0, 45),  // Amphibian × TennisTournament
+        (25, 4),  // MotorsportSeason × BasketballTeam
+        (49, 22), // Wrestler × Magazine
+    ];
+    let mut reporter = Reporter::new(
+        "Figure 6(b): false-positive rate when L and R are unrelated",
+        &["Pair", "AutoFJ FP rate", "Excel FP rate"],
+    );
+    let mut cases = Vec::new();
+    for (li, ri) in pairs {
+        let left_task = specs[li].generate();
+        let right_task = specs[ri].generate();
+        let task = unrelated_pair(&left_task, &right_task);
+        eprintln!("[fig6b] running {}", task.name);
+        let (result, _q, _, _) = run_autofj(&task, &space, &options);
+        let autofj_fp = result.num_joined() as f64 / task.right.len() as f64;
+        // Excel baseline: join everything above a fixed default similarity.
+        let excel_preds = ExcelLike::default().predict(&task.left, &task.right);
+        let excel_fp = excel_preds.iter().filter(|p| p.score >= 0.6).count() as f64
+            / task.right.len() as f64;
+        reporter.add_metric_row(&task.name, &[autofj_fp, excel_fp]);
+        cases.push(Case {
+            pair: task.name.clone(),
+            autofj_fp_rate: autofj_fp,
+            excel_fp_rate: excel_fp,
+        });
+    }
+    let n = cases.len() as f64;
+    reporter.add_metric_row(
+        "Average",
+        &[
+            cases.iter().map(|c| c.autofj_fp_rate).sum::<f64>() / n,
+            cases.iter().map(|c| c.excel_fp_rate).sum::<f64>() / n,
+        ],
+    );
+    reporter.print();
+    let path = write_json("fig6b_zerojoin", &cases);
+    println!("JSON written to {}", path.display());
+}

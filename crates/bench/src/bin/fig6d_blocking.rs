@@ -1,0 +1,62 @@
+//! Figure 6(d) — sensitivity to the blocking factor β.
+//!
+//! Sweeps β (the number of candidates kept per probe record is β·√|L|) and
+//! reports AutoFJ's average precision/recall and running time at each point.
+
+use autofj_bench::runner::{autofj_options, run_autofj};
+use autofj_bench::{env_scale, env_space, env_task_limit, write_json, Reporter};
+use autofj_core::AutoFjOptions;
+use autofj_datagen::benchmark_specs;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    beta: f64,
+    precision: f64,
+    recall: f64,
+    seconds: f64,
+}
+
+fn main() {
+    let specs = benchmark_specs(env_scale());
+    let limit = env_task_limit().min(specs.len()).min(12);
+    let space = env_space();
+    let tasks: Vec<_> = specs.iter().take(limit).map(|s| s.generate()).collect();
+    let betas = [0.25, 0.5, 1.0, 1.5, 2.0, 3.0];
+    let mut reporter = Reporter::new(
+        "Figure 6(d): sensitivity to the blocking factor β",
+        &["β", "Avg precision", "Avg recall", "Avg seconds"],
+    );
+    let mut points = Vec::new();
+    for &beta in &betas {
+        let options = AutoFjOptions {
+            blocking_factor: beta,
+            ..autofj_options()
+        };
+        let mut p = 0.0;
+        let mut r = 0.0;
+        let mut secs = 0.0;
+        for task in &tasks {
+            let (_res, q, _, s) = run_autofj(task, &space, &options);
+            p += q.precision;
+            r += q.recall_relative;
+            secs += s;
+            eprintln!("[fig6d] {} @ β={beta}", task.name);
+        }
+        let n = tasks.len() as f64;
+        let point = Point {
+            beta,
+            precision: p / n,
+            recall: r / n,
+            seconds: secs / n,
+        };
+        reporter.add_metric_row(
+            &format!("{beta}"),
+            &[point.precision, point.recall, point.seconds],
+        );
+        points.push(point);
+    }
+    reporter.print();
+    let path = write_json("fig6d_blocking", &points);
+    println!("JSON written to {}", path.display());
+}

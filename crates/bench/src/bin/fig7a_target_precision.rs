@@ -1,0 +1,70 @@
+//! Figure 7(a) — varying the precision target τ.
+//!
+//! Sweeps τ and reports AutoFJ's achieved average precision and recall,
+//! alongside the Excel baseline's adjusted recall at each achieved precision.
+//! The correlation between target and achieved precision is the headline
+//! statistic (0.9939 in the paper).
+
+use autofj_bench::runner::{autofj_options, pearson, run_autofj, run_unsupervised};
+use autofj_bench::{env_scale, env_space, env_task_limit, write_json, Reporter};
+use autofj_baselines::ExcelLike;
+use autofj_core::AutoFjOptions;
+use autofj_datagen::benchmark_specs;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Point {
+    target: f64,
+    precision: f64,
+    recall: f64,
+    excel_adjusted_recall: f64,
+}
+
+fn main() {
+    let specs = benchmark_specs(env_scale());
+    let limit = env_task_limit().min(specs.len()).min(12);
+    let space = env_space();
+    let tasks: Vec<_> = specs.iter().take(limit).map(|s| s.generate()).collect();
+    let targets = [0.5, 0.6, 0.7, 0.8, 0.9, 0.95];
+    let mut reporter = Reporter::new(
+        "Figure 7(a): varying the precision target τ",
+        &["τ", "Achieved precision", "Recall", "Excel AR"],
+    );
+    let mut points = Vec::new();
+    for &tau in &targets {
+        let options = AutoFjOptions {
+            precision_target: tau,
+            ..autofj_options()
+        };
+        let mut p = 0.0;
+        let mut r = 0.0;
+        let mut e = 0.0;
+        for task in &tasks {
+            let (_res, q, _, _) = run_autofj(task, &space, &options);
+            p += q.precision;
+            r += q.recall_relative;
+            e += run_unsupervised(&ExcelLike::default(), task, q.precision).adjusted_recall;
+            eprintln!("[fig7a] {} @ τ={tau}", task.name);
+        }
+        let n = tasks.len() as f64;
+        let point = Point {
+            target: tau,
+            precision: p / n,
+            recall: r / n,
+            excel_adjusted_recall: e / n,
+        };
+        reporter.add_metric_row(
+            &format!("{tau}"),
+            &[point.precision, point.recall, point.excel_adjusted_recall],
+        );
+        points.push(point);
+    }
+    let corr = pearson(
+        &points.iter().map(|p| p.target).collect::<Vec<_>>(),
+        &points.iter().map(|p| p.precision).collect::<Vec<_>>(),
+    );
+    reporter.print();
+    println!("Correlation between target and achieved precision: {corr:.4}");
+    let path = write_json("fig7a_target_precision", &points);
+    println!("JSON written to {}", path.display());
+}

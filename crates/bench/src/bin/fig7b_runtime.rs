@@ -1,0 +1,83 @@
+//! Figure 7(b) — running-time comparison.
+//!
+//! Buckets the benchmark tasks by |L|·|R| and reports the average running
+//! time of AutoFJ and of every baseline per bucket (the paper's grouping into
+//! 5 size buckets).
+
+use autofj_bench::runner::{autofj_options, run_autofj, run_supervised, run_unsupervised};
+use autofj_bench::{env_scale, env_space, env_task_limit, write_json, Reporter};
+use autofj_baselines::{
+    ActiveLearning, DeepMatcherSub, Ecm, ExcelLike, FuzzyWuzzy, MagellanRf, PpJoin,
+    ZeroEr,
+};
+use autofj_datagen::benchmark_specs;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+#[derive(Serialize, Default, Clone)]
+struct Bucket {
+    tasks: usize,
+    autofj: f64,
+    excel: f64,
+    fw: f64,
+    zeroer: f64,
+    ecm: f64,
+    pp: f64,
+    magellan: f64,
+    dm: f64,
+    al: f64,
+}
+
+fn main() {
+    let specs = benchmark_specs(env_scale());
+    let limit = env_task_limit().min(specs.len()).min(20);
+    let space = env_space();
+    let options = autofj_options();
+    let mut buckets: BTreeMap<usize, Bucket> = BTreeMap::new();
+    let tasks: Vec<_> = specs.iter().take(limit).map(|s| s.generate()).collect();
+    // Bucket boundaries: quintiles of |L|*|R|.
+    let mut sizes: Vec<usize> = tasks.iter().map(|t| t.left.len() * t.right.len()).collect();
+    sizes.sort_unstable();
+    let bucket_of = |size: usize| -> usize {
+        let rank = sizes.partition_point(|&s| s <= size);
+        ((rank.saturating_sub(1)) * 5 / sizes.len().max(1)).min(4)
+    };
+    for task in &tasks {
+        eprintln!("[fig7b] timing {}", task.name);
+        let b = buckets.entry(bucket_of(task.left.len() * task.right.len())).or_default();
+        b.tasks += 1;
+        let (_r, _q, _c, s) = run_autofj(task, &space, &options);
+        b.autofj += s;
+        b.excel += run_unsupervised(&ExcelLike::default(), task, 0.9).seconds;
+        b.fw += run_unsupervised(&FuzzyWuzzy, task, 0.9).seconds;
+        b.zeroer += run_unsupervised(&ZeroEr::default(), task, 0.9).seconds;
+        b.ecm += run_unsupervised(&Ecm::default(), task, 0.9).seconds;
+        b.pp += run_unsupervised(&PpJoin::default(), task, 0.9).seconds;
+        b.magellan += run_supervised(&MagellanRf::default(), task, 0.9, 1).seconds;
+        b.dm += run_supervised(&DeepMatcherSub::default(), task, 0.9, 1).seconds;
+        b.al += run_supervised(&ActiveLearning::default(), task, 0.9, 1).seconds;
+    }
+    let mut reporter = Reporter::new(
+        "Figure 7(b): average running time (seconds) by |L|×|R| bucket",
+        &["Bucket", "#tasks", "AutoFJ", "Excel", "FW", "ZeroER", "ECM", "PP", "Magellan", "DM", "AL"],
+    );
+    for (bucket, b) in &buckets {
+        let n = b.tasks.max(1) as f64;
+        reporter.add_row(vec![
+            format!("{}", bucket + 1),
+            b.tasks.to_string(),
+            format!("{:.2}", b.autofj / n),
+            format!("{:.2}", b.excel / n),
+            format!("{:.2}", b.fw / n),
+            format!("{:.2}", b.zeroer / n),
+            format!("{:.2}", b.ecm / n),
+            format!("{:.2}", b.pp / n),
+            format!("{:.2}", b.magellan / n),
+            format!("{:.2}", b.dm / n),
+            format!("{:.2}", b.al / n),
+        ]);
+    }
+    reporter.print();
+    let path = write_json("fig7b_runtime", &buckets.values().cloned().collect::<Vec<_>>());
+    println!("JSON written to {}", path.display());
+}

@@ -1,0 +1,106 @@
+//! Table 2 — overall single-column quality comparison.
+//!
+//! For every single-column benchmark task, prints AutoFJ's precision, recall
+//! and PEPCC, the recall upper bound (UBR), the adjusted recall of every
+//! unsupervised and supervised baseline at AutoFJ's precision, and the
+//! ablations AutoFJ-UC / AutoFJ-NR, followed by the per-column averages —
+//! the same row/column structure as the paper's Table 2.
+//!
+//! Reduce runtime with `AUTOFJ_TASKS=<n>`, `AUTOFJ_SCALE=tiny` or
+//! `AUTOFJ_SPACE=24`.
+
+use autofj_bench::{autofj_options, env_scale, env_space, env_task_limit, write_json, Reporter};
+use autofj_bench::runner::run_full_comparison;
+use autofj_datagen::benchmark_specs;
+
+fn main() {
+    let space = env_space();
+    let options = autofj_options();
+    let specs = benchmark_specs(env_scale());
+    let limit = env_task_limit().min(specs.len());
+
+    let mut reporter = Reporter::new(
+        "Table 2: single-column fuzzy join quality (adjusted recall at AutoFJ's precision)",
+        &[
+            "Dataset", "Size(L-R)", "UBR", "PEPCC", "AutoFJ-P", "AutoFJ-R", "Excel", "FW",
+            "ZeroER", "ECM", "PP", "Magellan", "DM", "AL", "AutoFJ-UC", "AutoFJ-NR", "sec",
+        ],
+    );
+
+    let mut outcomes = Vec::new();
+    for spec in specs.iter().take(limit) {
+        let task = spec.generate();
+        eprintln!("[table2] running {} (|L|={}, |R|={})", task.name, task.left.len(), task.right.len());
+        let outcome = run_full_comparison(&task, &space, &options, true, true);
+        let get = |name: &str| {
+            outcome
+                .baselines
+                .iter()
+                .find(|b| b.method == name)
+                .map(|b| b.adjusted_recall)
+                .unwrap_or(0.0)
+        };
+        reporter.add_row(vec![
+            outcome.task.clone(),
+            format!("{}-{}", outcome.size.0, outcome.size.1),
+            format!("{:.3}", outcome.ubr),
+            format!("{:.3}", outcome.pepcc),
+            format!("{:.3}", outcome.autofj_precision),
+            format!("{:.3}", outcome.autofj_recall),
+            format!("{:.3}", get("Excel")),
+            format!("{:.3}", get("FW")),
+            format!("{:.3}", get("ZeroER")),
+            format!("{:.3}", get("ECM")),
+            format!("{:.3}", get("PP")),
+            format!("{:.3}", get("Magellan")),
+            format!("{:.3}", get("DM")),
+            format!("{:.3}", get("AL")),
+            format!("{:.3}", get("AutoFJ-UC")),
+            format!("{:.3}", get("AutoFJ-NR")),
+            format!("{:.1}", outcome.autofj_seconds),
+        ]);
+        outcomes.push(outcome);
+    }
+
+    // Averages row.
+    let n = outcomes.len().max(1) as f64;
+    let avg = |f: &dyn Fn(&autofj_bench::TaskOutcome) -> f64| {
+        outcomes.iter().map(f).sum::<f64>() / n
+    };
+    let avg_baseline = |name: &str| {
+        outcomes
+            .iter()
+            .map(|o| {
+                o.baselines
+                    .iter()
+                    .find(|b| b.method == name)
+                    .map(|b| b.adjusted_recall)
+                    .unwrap_or(0.0)
+            })
+            .sum::<f64>()
+            / n
+    };
+    reporter.add_row(vec![
+        "Average".to_string(),
+        "-".to_string(),
+        format!("{:.3}", avg(&|o| o.ubr)),
+        format!("{:.3}", avg(&|o| o.pepcc)),
+        format!("{:.3}", avg(&|o| o.autofj_precision)),
+        format!("{:.3}", avg(&|o| o.autofj_recall)),
+        format!("{:.3}", avg_baseline("Excel")),
+        format!("{:.3}", avg_baseline("FW")),
+        format!("{:.3}", avg_baseline("ZeroER")),
+        format!("{:.3}", avg_baseline("ECM")),
+        format!("{:.3}", avg_baseline("PP")),
+        format!("{:.3}", avg_baseline("Magellan")),
+        format!("{:.3}", avg_baseline("DM")),
+        format!("{:.3}", avg_baseline("AL")),
+        format!("{:.3}", avg_baseline("AutoFJ-UC")),
+        format!("{:.3}", avg_baseline("AutoFJ-NR")),
+        format!("{:.1}", avg(&|o| o.autofj_seconds)),
+    ]);
+
+    reporter.print();
+    let path = write_json("table2", &outcomes);
+    println!("JSON written to {}", path.display());
+}

@@ -1,0 +1,135 @@
+//! Table 3 + Table 4(a) — multi-column fuzzy join quality.
+//!
+//! Generates the 8 multi-column tasks (Table 3 structure), runs multi-column
+//! AutoFJ (Algorithm 3) on each, and reports the selected columns/weights,
+//! precision, recall, and the adjusted recall of the baselines invoked on
+//! all-columns-concatenated input (the paper's protocol for Excel/FW/PP) and
+//! of the supervised baselines.
+
+use autofj_bench::runner::{autofj_options, run_supervised, run_unsupervised};
+use autofj_bench::{env_space, write_json, Reporter};
+use autofj_baselines::{
+    ActiveLearning, DeepMatcherSub, Ecm, ExcelLike, FuzzyWuzzy, MagellanRf, PpJoin,
+    SupervisedMatcher, UnsupervisedMatcher, ZeroEr,
+};
+use autofj_core::multi_column::join_multi_column;
+use autofj_datagen::{generate_multi_column_benchmark, SingleColumnTask};
+use autofj_eval::evaluate_assignment;
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Serialize)]
+struct Row {
+    task: String,
+    domain: String,
+    num_columns: usize,
+    size: (usize, usize),
+    matches: usize,
+    columns_selected: Vec<String>,
+    weights_selected: Vec<f64>,
+    precision: f64,
+    recall: f64,
+    seconds: f64,
+    baselines: Vec<(String, f64)>,
+}
+
+fn main() {
+    let scale: f64 = std::env::var("AUTOFJ_MC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.2);
+    let space = env_space();
+    let options = autofj_options();
+    let tasks = generate_multi_column_benchmark(scale, 0xBEEF);
+    let mut reporter = Reporter::new(
+        "Table 4(a): multi-column fuzzy join quality",
+        &[
+            "Dataset", "Domain", "#Attr", "Size(L-R)", "#Match", "Columns(weights)", "P", "R",
+            "Excel", "FW", "ZeroER", "ECM", "PP", "Magellan", "DM", "AL", "sec",
+        ],
+    );
+    let mut rows = Vec::new();
+    for task in &tasks {
+        eprintln!("[table4] running {} ({} columns)", task.name, task.left.num_columns());
+        let start = Instant::now();
+        let result = join_multi_column(&task.left, &task.right, &space, &options);
+        let seconds = start.elapsed().as_secs_f64();
+        let quality = evaluate_assignment(&result.assignment, &task.ground_truth);
+
+        // Baselines on concatenated columns.
+        let flat = SingleColumnTask {
+            name: task.name.clone(),
+            left: task.left.concatenated_rows(),
+            right: task.right.concatenated_rows(),
+            ground_truth: task.ground_truth.clone(),
+        };
+        let target = quality.precision;
+        let mut baselines = Vec::new();
+        let excel = ExcelLike::default();
+        let fw = FuzzyWuzzy;
+        let zeroer = ZeroEr::default();
+        let ecm = Ecm::default();
+        let pp = PpJoin::default();
+        for m in [&excel as &dyn UnsupervisedMatcher, &fw, &zeroer, &ecm, &pp] {
+            let s = run_unsupervised(m, &flat, target);
+            baselines.push((s.method, s.adjusted_recall));
+        }
+        let magellan = MagellanRf::default();
+        let dm = DeepMatcherSub::default();
+        let al = ActiveLearning::default();
+        for m in [&magellan as &dyn SupervisedMatcher, &dm, &al] {
+            let s = run_supervised(m, &flat, target, 0xC0FFEE);
+            baselines.push((s.method, s.adjusted_recall));
+        }
+        let cols_w = result
+            .program
+            .columns
+            .iter()
+            .zip(&result.program.column_weights)
+            .map(|(c, w)| format!("{c}:{w:.1}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        let get = |name: &str| {
+            baselines
+                .iter()
+                .find(|(m, _)| m == name)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
+        };
+        reporter.add_row(vec![
+            task.name.clone(),
+            task.domain.clone(),
+            task.left.num_columns().to_string(),
+            format!("{}-{}", task.left.len(), task.right.len()),
+            task.num_matches().to_string(),
+            cols_w,
+            format!("{:.3}", quality.precision),
+            format!("{:.3}", quality.recall_relative),
+            format!("{:.3}", get("Excel")),
+            format!("{:.3}", get("FW")),
+            format!("{:.3}", get("ZeroER")),
+            format!("{:.3}", get("ECM")),
+            format!("{:.3}", get("PP")),
+            format!("{:.3}", get("Magellan")),
+            format!("{:.3}", get("DM")),
+            format!("{:.3}", get("AL")),
+            format!("{:.1}", seconds),
+        ]);
+        rows.push(Row {
+            task: task.name.clone(),
+            domain: task.domain.clone(),
+            num_columns: task.left.num_columns(),
+            size: (task.left.len(), task.right.len()),
+            matches: task.num_matches(),
+            columns_selected: result.program.columns.clone(),
+            weights_selected: result.program.column_weights.clone(),
+            precision: quality.precision,
+            recall: quality.recall_relative,
+            seconds,
+            baselines,
+        });
+    }
+    reporter.print();
+    let path = write_json("table4_multicolumn", &rows);
+    println!("JSON written to {}", path.display());
+}

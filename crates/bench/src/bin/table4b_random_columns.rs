@@ -1,0 +1,89 @@
+//! Table 4(b) — multi-column robustness to random columns.
+//!
+//! Adds columns of random strings to both tables of every multi-column task
+//! and reports the change in AutoFJ's recall and in the adjusted recall of
+//! Excel and AL (the baselines the paper compares against).  A robust column
+//! selector should show ΔR ≈ 0.
+
+use autofj_bench::runner::{autofj_options, run_supervised, run_unsupervised};
+use autofj_bench::{env_space, write_json, Reporter};
+use autofj_baselines::{ActiveLearning, ExcelLike};
+use autofj_core::multi_column::join_multi_column;
+use autofj_datagen::adversarial::add_random_columns;
+use autofj_datagen::{generate_multi_column_benchmark, MultiColumnTask, SingleColumnTask};
+use autofj_eval::evaluate_assignment;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    task: String,
+    delta_autofj_recall: f64,
+    delta_excel_ar: f64,
+    delta_al_ar: f64,
+}
+
+fn flatten(task: &MultiColumnTask) -> SingleColumnTask {
+    SingleColumnTask {
+        name: task.name.clone(),
+        left: task.left.concatenated_rows(),
+        right: task.right.concatenated_rows(),
+        ground_truth: task.ground_truth.clone(),
+    }
+}
+
+fn measure(task: &MultiColumnTask, space: &autofj_text::JoinFunctionSpace) -> (f64, f64, f64) {
+    let options = autofj_options();
+    let result = join_multi_column(&task.left, &task.right, space, &options);
+    let q = evaluate_assignment(&result.assignment, &task.ground_truth);
+    let flat = flatten(task);
+    let excel = run_unsupervised(&ExcelLike::default(), &flat, q.precision).adjusted_recall;
+    let al = run_supervised(&ActiveLearning::default(), &flat, q.precision, 7).adjusted_recall;
+    (q.recall_relative, excel, al)
+}
+
+fn main() {
+    let scale: f64 = std::env::var("AUTOFJ_MC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.15);
+    let num_random: usize = std::env::var("AUTOFJ_RANDOM_COLUMNS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3);
+    let space = env_space();
+    let tasks = generate_multi_column_benchmark(scale, 0xBEEF);
+    let mut reporter = Reporter::new(
+        "Table 4(b): change in quality after adding random columns",
+        &["Dataset", "AutoFJ ΔR", "Excel ΔAR", "AL ΔAR"],
+    );
+    let mut rows = Vec::new();
+    for task in &tasks {
+        eprintln!("[table4b] running {}", task.name);
+        let (r0, e0, a0) = measure(task, &space);
+        let noisy = add_random_columns(task, num_random, 0xD1CE);
+        let (r1, e1, a1) = measure(&noisy, &space);
+        let row = Row {
+            task: task.name.clone(),
+            delta_autofj_recall: r1 - r0,
+            delta_excel_ar: e1 - e0,
+            delta_al_ar: a1 - a0,
+        };
+        reporter.add_metric_row(
+            &row.task.clone(),
+            &[row.delta_autofj_recall, row.delta_excel_ar, row.delta_al_ar],
+        );
+        rows.push(row);
+    }
+    let n = rows.len().max(1) as f64;
+    reporter.add_metric_row(
+        "Average",
+        &[
+            rows.iter().map(|r| r.delta_autofj_recall).sum::<f64>() / n,
+            rows.iter().map(|r| r.delta_excel_ar).sum::<f64>() / n,
+            rows.iter().map(|r| r.delta_al_ar).sum::<f64>() / n,
+        ],
+    );
+    reporter.print();
+    let path = write_json("table4b_random_columns", &rows);
+    println!("JSON written to {}", path.display());
+}

@@ -1,0 +1,119 @@
+//! Table 5 — PR-AUC comparison on the single-column benchmark.
+//!
+//! AutoFJ's score ranking is obtained by sweeping its precision target
+//! (higher target ⇒ higher-confidence joins), mirroring how the paper
+//! computes a PR curve for a method that otherwise outputs a single join.
+
+use autofj_bench::runner::{autofj_options, run_autofj};
+use autofj_bench::{env_scale, env_space, env_task_limit, write_json, Reporter};
+use autofj_baselines::{
+    ActiveLearning, DeepMatcherSub, Ecm, ExcelLike, FuzzyWuzzy, MagellanRf, PpJoin,
+    SupervisedMatcher, UnsupervisedMatcher, ZeroEr,
+};
+use autofj_datagen::benchmark_specs;
+use autofj_eval::{pr_auc, ScoredPrediction};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    task: String,
+    autofj: f64,
+    excel: f64,
+    fw: f64,
+    zeroer: f64,
+    ecm: f64,
+    pp: f64,
+    magellan: f64,
+    dm: f64,
+    al: f64,
+}
+
+/// Build a score-ranked prediction list for AutoFJ by sweeping the precision
+/// target: a pair joined at target τ gets score τ (its highest surviving
+/// target).
+fn autofj_scores(
+    task: &autofj_datagen::SingleColumnTask,
+    space: &autofj_text::JoinFunctionSpace,
+) -> Vec<ScoredPrediction> {
+    let mut best: std::collections::HashMap<(usize, usize), f64> = std::collections::HashMap::new();
+    for &tau in &[0.95, 0.9, 0.8, 0.7, 0.6, 0.5] {
+        let options = autofj_core::AutoFjOptions {
+            precision_target: tau,
+            ..autofj_options()
+        };
+        let (result, _q, _c, _s) = run_autofj(task, space, &options);
+        for p in &result.pairs {
+            let e = best.entry((p.right, p.left)).or_insert(0.0);
+            if tau > *e {
+                *e = tau;
+            }
+        }
+    }
+    best.into_iter()
+        .map(|((right, left), score)| ScoredPrediction { right, left, score })
+        .collect()
+}
+
+fn main() {
+    let space = env_space();
+    let specs = benchmark_specs(env_scale());
+    let limit = env_task_limit().min(specs.len());
+    let mut reporter = Reporter::new(
+        "Table 5: PR-AUC on single-column datasets",
+        &["Dataset", "AutoFJ", "Excel", "FW", "ZeroER", "ECM", "PP", "Magellan", "DM", "AL"],
+    );
+    let mut rows = Vec::new();
+    for spec in specs.iter().take(limit) {
+        let task = spec.generate();
+        eprintln!("[table5] running {}", task.name);
+        let autofj = pr_auc(&autofj_scores(&task, &space), &task.ground_truth);
+        let un = |m: &dyn UnsupervisedMatcher| {
+            pr_auc(&m.predict(&task.left, &task.right), &task.ground_truth)
+        };
+        let (train, _) = autofj_baselines::train_test_split(task.right.len(), 0.5, 0xC0FFEE);
+        let su = |m: &dyn SupervisedMatcher| {
+            pr_auc(
+                &m.fit_predict(&task.left, &task.right, &task.ground_truth, &train, 0xC0FFEE),
+                &task.ground_truth,
+            )
+        };
+        let row = Row {
+            task: task.name.clone(),
+            autofj,
+            excel: un(&ExcelLike::default()),
+            fw: un(&FuzzyWuzzy),
+            zeroer: un(&ZeroEr::default()),
+            ecm: un(&Ecm::default()),
+            pp: un(&PpJoin::default()),
+            magellan: su(&MagellanRf::default()),
+            dm: su(&DeepMatcherSub::default()),
+            al: su(&ActiveLearning::default()),
+        };
+        reporter.add_metric_row(
+            &row.task.clone(),
+            &[
+                row.autofj, row.excel, row.fw, row.zeroer, row.ecm, row.pp, row.magellan, row.dm,
+                row.al,
+            ],
+        );
+        rows.push(row);
+    }
+    let n = rows.len().max(1) as f64;
+    reporter.add_metric_row(
+        "Average",
+        &[
+            rows.iter().map(|r| r.autofj).sum::<f64>() / n,
+            rows.iter().map(|r| r.excel).sum::<f64>() / n,
+            rows.iter().map(|r| r.fw).sum::<f64>() / n,
+            rows.iter().map(|r| r.zeroer).sum::<f64>() / n,
+            rows.iter().map(|r| r.ecm).sum::<f64>() / n,
+            rows.iter().map(|r| r.pp).sum::<f64>() / n,
+            rows.iter().map(|r| r.magellan).sum::<f64>() / n,
+            rows.iter().map(|r| r.dm).sum::<f64>() / n,
+            rows.iter().map(|r| r.al).sum::<f64>() / n,
+        ],
+    );
+    reporter.print();
+    let path = write_json("table5_prauc", &rows);
+    println!("JSON written to {}", path.display());
+}

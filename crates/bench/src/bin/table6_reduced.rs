@@ -1,0 +1,64 @@
+//! Table 6 — AutoFJ with the reduced 24-configuration space.
+//!
+//! Re-runs the single-column benchmark with `JoinFunctionSpace::reduced24`
+//! and prints precision / recall per dataset, to be compared against the
+//! full-space numbers of Table 2 (precision should be essentially unchanged,
+//! recall slightly lower).
+
+use autofj_bench::runner::{autofj_options, run_autofj};
+use autofj_bench::{env_scale, env_task_limit, write_json, Reporter};
+use autofj_datagen::benchmark_specs;
+use autofj_text::JoinFunctionSpace;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    task: String,
+    precision_24: f64,
+    recall_24: f64,
+    precision_full: f64,
+    recall_full: f64,
+}
+
+fn main() {
+    let specs = benchmark_specs(env_scale());
+    let limit = env_task_limit().min(specs.len());
+    let options = autofj_options();
+    let reduced = JoinFunctionSpace::reduced24();
+    let full = JoinFunctionSpace::full();
+    let mut reporter = Reporter::new(
+        "Table 6: AutoFJ with 24 configurations vs the full 140-configuration space",
+        &["Dataset", "P(24)", "R(24)", "P(140)", "R(140)"],
+    );
+    let mut rows = Vec::new();
+    for spec in specs.iter().take(limit) {
+        let task = spec.generate();
+        eprintln!("[table6] running {}", task.name);
+        let (_r24, q24, _, _) = run_autofj(&task, &reduced, &options);
+        let (_rf, qf, _, _) = run_autofj(&task, &full, &options);
+        reporter.add_metric_row(
+            &task.name,
+            &[q24.precision, q24.recall_relative, qf.precision, qf.recall_relative],
+        );
+        rows.push(Row {
+            task: task.name.clone(),
+            precision_24: q24.precision,
+            recall_24: q24.recall_relative,
+            precision_full: qf.precision,
+            recall_full: qf.recall_relative,
+        });
+    }
+    let n = rows.len().max(1) as f64;
+    reporter.add_metric_row(
+        "Average",
+        &[
+            rows.iter().map(|r| r.precision_24).sum::<f64>() / n,
+            rows.iter().map(|r| r.recall_24).sum::<f64>() / n,
+            rows.iter().map(|r| r.precision_full).sum::<f64>() / n,
+            rows.iter().map(|r| r.recall_full).sum::<f64>() / n,
+        ],
+    );
+    reporter.print();
+    let path = write_json("table6_reduced", &rows);
+    println!("JSON written to {}", path.display());
+}

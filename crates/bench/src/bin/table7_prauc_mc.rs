@@ -1,0 +1,110 @@
+//! Table 7 — PR-AUC on the multi-column datasets.
+
+use autofj_bench::runner::autofj_options;
+use autofj_bench::{env_space, write_json, Reporter};
+use autofj_baselines::{
+    ActiveLearning, DeepMatcherSub, Ecm, ExcelLike, FuzzyWuzzy, MagellanRf, PpJoin,
+    SupervisedMatcher, UnsupervisedMatcher, ZeroEr,
+};
+use autofj_core::multi_column::join_multi_column;
+use autofj_datagen::generate_multi_column_benchmark;
+use autofj_eval::{pr_auc, ScoredPrediction};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    task: String,
+    autofj: f64,
+    excel: f64,
+    fw: f64,
+    zeroer: f64,
+    ecm: f64,
+    pp: f64,
+    magellan: f64,
+    dm: f64,
+    al: f64,
+}
+
+fn main() {
+    let scale: f64 = std::env::var("AUTOFJ_MC_SCALE")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.15);
+    let space = env_space();
+    let tasks = generate_multi_column_benchmark(scale, 0xBEEF);
+    let mut reporter = Reporter::new(
+        "Table 7: PR-AUC on multi-column datasets",
+        &["Dataset", "AutoFJ", "Excel", "FW", "ZeroER", "ECM", "PP", "Magellan", "DM", "AL"],
+    );
+    let mut rows = Vec::new();
+    for task in &tasks {
+        eprintln!("[table7] running {}", task.name);
+        // AutoFJ scores via a precision-target sweep (as in Table 5).
+        let mut best: std::collections::HashMap<(usize, usize), f64> =
+            std::collections::HashMap::new();
+        for &tau in &[0.95, 0.9, 0.8, 0.6] {
+            let options = autofj_core::AutoFjOptions {
+                precision_target: tau,
+                ..autofj_options()
+            };
+            let result = join_multi_column(&task.left, &task.right, &space, &options);
+            for p in &result.pairs {
+                let e = best.entry((p.right, p.left)).or_insert(0.0);
+                if tau > *e {
+                    *e = tau;
+                }
+            }
+        }
+        let autofj_preds: Vec<ScoredPrediction> = best
+            .into_iter()
+            .map(|((right, left), score)| ScoredPrediction { right, left, score })
+            .collect();
+        let autofj = pr_auc(&autofj_preds, &task.ground_truth);
+
+        let left = task.left.concatenated_rows();
+        let right = task.right.concatenated_rows();
+        let un = |m: &dyn UnsupervisedMatcher| pr_auc(&m.predict(&left, &right), &task.ground_truth);
+        let (train, _) = autofj_baselines::train_test_split(right.len(), 0.5, 0xC0FFEE);
+        let su = |m: &dyn SupervisedMatcher| {
+            pr_auc(
+                &m.fit_predict(&left, &right, &task.ground_truth, &train, 0xC0FFEE),
+                &task.ground_truth,
+            )
+        };
+        let row = Row {
+            task: task.name.clone(),
+            autofj,
+            excel: un(&ExcelLike::default()),
+            fw: un(&FuzzyWuzzy),
+            zeroer: un(&ZeroEr::default()),
+            ecm: un(&Ecm::default()),
+            pp: un(&PpJoin::default()),
+            magellan: su(&MagellanRf::default()),
+            dm: su(&DeepMatcherSub::default()),
+            al: su(&ActiveLearning::default()),
+        };
+        reporter.add_metric_row(
+            &row.task.clone(),
+            &[row.autofj, row.excel, row.fw, row.zeroer, row.ecm, row.pp, row.magellan, row.dm, row.al],
+        );
+        rows.push(row);
+    }
+    let n = rows.len().max(1) as f64;
+    reporter.add_metric_row(
+        "Average",
+        &[
+            rows.iter().map(|r| r.autofj).sum::<f64>() / n,
+            rows.iter().map(|r| r.excel).sum::<f64>() / n,
+            rows.iter().map(|r| r.fw).sum::<f64>() / n,
+            rows.iter().map(|r| r.zeroer).sum::<f64>() / n,
+            rows.iter().map(|r| r.ecm).sum::<f64>() / n,
+            rows.iter().map(|r| r.pp).sum::<f64>() / n,
+            rows.iter().map(|r| r.magellan).sum::<f64>() / n,
+            rows.iter().map(|r| r.dm).sum::<f64>() / n,
+            rows.iter().map(|r| r.al).sum::<f64>() / n,
+        ],
+    );
+    reporter.print();
+    let path = write_json("table7_prauc_mc", &rows);
+    println!("JSON written to {}", path.display());
+}

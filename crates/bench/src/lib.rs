@@ -1,0 +1,28 @@
+//! # autofj-bench
+//!
+//! The experiment harness that regenerates every table and figure of the
+//! Auto-FuzzyJoin evaluation (§5 of the paper) on the synthetic benchmark of
+//! `autofj-datagen`, plus Criterion microbenchmarks of the core building
+//! blocks.
+//!
+//! Each binary under `src/bin/` corresponds to one table or figure (see
+//! `EXPERIMENTS.md` at the workspace root for the index).  Binaries print a
+//! human-readable table with the same row/column structure as the paper and
+//! write a JSON copy under `target/experiments/`.
+//!
+//! Environment knobs shared by all binaries:
+//!
+//! * `AUTOFJ_SCALE` — `tiny` | `small` (default) | `full`: row counts of the
+//!   generated benchmark.
+//! * `AUTOFJ_TASKS` — limit on the number of single-column tasks (default:
+//!   all 50).
+//! * `AUTOFJ_SPACE` — `24` | `38` | `70` | `140` (default 140): configuration
+//!   space used by AutoFJ.
+
+pub mod report;
+pub mod runner;
+
+pub use report::{write_json, Reporter};
+pub use runner::{
+    autofj_options, env_scale, env_space, env_task_limit, MethodScores, TaskOutcome,
+};

@@ -1,0 +1,123 @@
+//! Table formatting and JSON persistence for experiment output.
+
+use serde::Serialize;
+use std::fs;
+use std::path::PathBuf;
+
+/// A simple fixed-width table printer for experiment rows.
+#[derive(Debug, Clone)]
+pub struct Reporter {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Reporter {
+    /// Start a new table with a title and column headers.
+    pub fn new(title: &str, header: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (stringified cells).
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row has {} cells, header has {}",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows.push(cells);
+    }
+
+    /// Append a row of `f64` values after a label cell.
+    pub fn add_metric_row(&mut self, label: &str, values: &[f64]) {
+        let mut cells = vec![label.to_string()];
+        cells.extend(values.iter().map(|v| format!("{v:.3}")));
+        self.add_row(cells);
+    }
+
+    /// Render the table to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the table to stdout.
+    pub fn print(&self) {
+        println!("{}", self.render());
+    }
+}
+
+/// Write a serializable result object to `target/experiments/<name>.json`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
+    let dir = PathBuf::from(
+        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
+    )
+    .join("experiments");
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.json"));
+    if let Ok(json) = serde_json::to_string_pretty(value) {
+        let _ = fs::write(&path, json);
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_aligns_columns() {
+        let mut r = Reporter::new("Demo", &["Dataset", "P", "R"]);
+        r.add_row(vec!["LongDatasetName".into(), "0.9".into(), "0.5".into()]);
+        r.add_metric_row("x", &[0.123456, 0.9]);
+        let s = r.render();
+        assert!(s.contains("Demo"));
+        assert!(s.contains("LongDatasetName"));
+        assert!(s.contains("0.123"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "cells")]
+    fn mismatched_row_width_panics() {
+        let mut r = Reporter::new("Demo", &["a", "b"]);
+        r.add_row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn write_json_creates_file() {
+        let path = write_json("unit_test_report", &vec![1, 2, 3]);
+        assert!(path.exists());
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains('2'));
+    }
+}

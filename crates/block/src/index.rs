@@ -1,0 +1,281 @@
+//! TF-IDF 3-gram inverted index and the top-k candidate selection.
+
+use autofj_text::preprocess::Preprocessing;
+use autofj_text::tokenize::qgram_tokenize;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// The candidate sets produced by blocking.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockingOutput {
+    /// For every right record `r`, the indices of the candidate left records
+    /// kept by blocking, ordered by decreasing blocking score.
+    pub left_candidates_of_right: Vec<Vec<usize>>,
+    /// For every left record `l`, the indices of the candidate *other* left
+    /// records kept by blocking (self excluded), ordered by decreasing score.
+    pub left_candidates_of_left: Vec<Vec<usize>>,
+    /// The number of candidates kept per probe record (`⌈β·√|L|⌉`, at least 1).
+    pub candidates_per_record: usize,
+}
+
+impl BlockingOutput {
+    /// Total number of L–R candidate pairs that survived blocking.
+    pub fn num_lr_pairs(&self) -> usize {
+        self.left_candidates_of_right.iter().map(Vec::len).sum()
+    }
+
+    /// Total number of L–L candidate pairs that survived blocking.
+    pub fn num_ll_pairs(&self) -> usize {
+        self.left_candidates_of_left.iter().map(Vec::len).sum()
+    }
+}
+
+/// The default Auto-FuzzyJoin blocker.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Blocker {
+    factor: f64,
+}
+
+impl Default for Blocker {
+    fn default() -> Self {
+        Self { factor: 1.5 }
+    }
+}
+
+/// Internal inverted index over the reference table.
+struct GramIndex {
+    /// gram id -> postings (left record indices, deduplicated).
+    postings: Vec<Vec<u32>>,
+    /// gram string -> gram id.
+    ids: HashMap<String, u32>,
+    /// idf weight per gram id.
+    idf: Vec<f64>,
+    num_left: usize,
+}
+
+impl GramIndex {
+    fn build(left_grams: &[Vec<String>]) -> Self {
+        let mut ids: HashMap<String, u32> = HashMap::new();
+        let mut postings: Vec<Vec<u32>> = Vec::new();
+        for (li, grams) in left_grams.iter().enumerate() {
+            let mut seen: Vec<u32> = Vec::with_capacity(grams.len());
+            for g in grams {
+                let id = match ids.get(g) {
+                    Some(&id) => id,
+                    None => {
+                        let id = postings.len() as u32;
+                        ids.insert(g.clone(), id);
+                        postings.push(Vec::new());
+                        id
+                    }
+                };
+                seen.push(id);
+            }
+            seen.sort_unstable();
+            seen.dedup();
+            for id in seen {
+                postings[id as usize].push(li as u32);
+            }
+        }
+        let n = left_grams.len().max(1) as f64;
+        let idf = postings
+            .iter()
+            .map(|p| (1.0 + n / (1.0 + p.len() as f64)).ln())
+            .collect();
+        Self {
+            postings,
+            ids,
+            idf,
+            num_left: left_grams.len(),
+        }
+    }
+
+    /// Score every left record against a probe gram multiset and return the
+    /// top-k indices (optionally excluding one index, used for L–L probes).
+    fn top_k(&self, probe_grams: &[String], k: usize, exclude: Option<usize>) -> Vec<usize> {
+        let mut scores: HashMap<u32, f64> = HashMap::new();
+        // Deduplicate probe grams: blocking similarity is over gram *sets*.
+        let mut uniq: Vec<&String> = probe_grams.iter().collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        for g in uniq {
+            if let Some(&id) = self.ids.get(g.as_str()) {
+                let w = self.idf[id as usize];
+                for &li in &self.postings[id as usize] {
+                    *scores.entry(li).or_insert(0.0) += w;
+                }
+            }
+        }
+        if let Some(ex) = exclude {
+            scores.remove(&(ex as u32));
+        }
+        let mut scored: Vec<(u32, f64)> = scores.into_iter().collect();
+        // Sort by score descending, tie-break by index for determinism.
+        scored.sort_unstable_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        scored.truncate(k.min(self.num_left));
+        scored.into_iter().map(|(i, _)| i as usize).collect()
+    }
+}
+
+impl Blocker {
+    /// A blocker with the paper's default factor `β = 1.5`.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A blocker with a custom factor `β` (Figure 6(d) sweeps this).
+    ///
+    /// # Panics
+    /// Panics if `factor` is not strictly positive and finite.
+    pub fn with_factor(factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "blocking factor must be positive and finite, got {factor}"
+        );
+        Self { factor }
+    }
+
+    /// The blocking factor β.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Number of candidates kept per probe record for a reference table of
+    /// size `left_len`: `⌈β·√|L|⌉`, at least 1.
+    pub fn candidates_per_record(&self, left_len: usize) -> usize {
+        ((self.factor * (left_len as f64).sqrt()).ceil() as usize).max(1)
+    }
+
+    /// Run blocking over raw strings, producing L–R and L–L candidate sets.
+    pub fn block<S1: AsRef<str>, S2: AsRef<str>>(
+        &self,
+        left: &[S1],
+        right: &[S2],
+    ) -> BlockingOutput {
+        let prep = Preprocessing::Lower;
+        let left_grams: Vec<Vec<String>> = left
+            .iter()
+            .map(|s| qgram_tokenize(&prep.apply(s.as_ref()), 3))
+            .collect();
+        let right_grams: Vec<Vec<String>> = right
+            .iter()
+            .map(|s| qgram_tokenize(&prep.apply(s.as_ref()), 3))
+            .collect();
+        let index = GramIndex::build(&left_grams);
+        let k = self.candidates_per_record(left.len());
+        let left_candidates_of_right = right_grams
+            .iter()
+            .map(|g| index.top_k(g, k, None))
+            .collect();
+        let left_candidates_of_left = left_grams
+            .iter()
+            .enumerate()
+            .map(|(li, g)| index.top_k(g, k, Some(li)))
+            .collect();
+        BlockingOutput {
+            left_candidates_of_right,
+            left_candidates_of_left,
+            candidates_per_record: k,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn teams() -> Vec<String> {
+        (2000..2040)
+            .flat_map(|year| {
+                ["LSU Tigers football", "Wisconsin Badgers football", "Alabama Crimson Tide"]
+                    .iter()
+                    .map(move |t| format!("{year} {t} team"))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn candidates_per_record_follows_beta_sqrt_l() {
+        let b = Blocker::with_factor(1.0);
+        assert_eq!(b.candidates_per_record(100), 10);
+        let b = Blocker::with_factor(1.5);
+        assert_eq!(b.candidates_per_record(100), 15);
+        assert_eq!(b.candidates_per_record(0), 1);
+    }
+
+    #[test]
+    fn exact_match_survives_blocking() {
+        let left = teams();
+        let right = vec![left[7].clone(), left[42].clone()];
+        let out = Blocker::new().block(&left, &right);
+        assert!(out.left_candidates_of_right[0].contains(&7));
+        assert!(out.left_candidates_of_right[1].contains(&42));
+    }
+
+    #[test]
+    fn fuzzy_match_survives_blocking() {
+        let left = teams();
+        let right = vec!["2003 LSU Tigres footbal".to_string()];
+        let out = Blocker::new().block(&left, &right);
+        // The true counterpart "2003 LSU Tigers football team" is at index 9.
+        assert!(out.left_candidates_of_right[0].contains(&9));
+    }
+
+    #[test]
+    fn ll_candidates_exclude_self() {
+        let left = teams();
+        let out = Blocker::new().block(&left, &left[..0]);
+        for (li, cands) in out.left_candidates_of_left.iter().enumerate() {
+            assert!(!cands.contains(&li));
+        }
+    }
+
+    #[test]
+    fn candidate_lists_respect_k() {
+        let left = teams();
+        let b = Blocker::with_factor(0.5);
+        let out = b.block(&left, &left);
+        let k = out.candidates_per_record;
+        assert!(out.left_candidates_of_right.iter().all(|c| c.len() <= k));
+        assert!(out.left_candidates_of_left.iter().all(|c| c.len() <= k));
+    }
+
+    #[test]
+    fn larger_factor_keeps_more_candidates() {
+        let left = teams();
+        let right = vec!["2005 LSU Tigers football team".to_string()];
+        let small = Blocker::with_factor(0.5).block(&left, &right);
+        let large = Blocker::with_factor(3.0).block(&left, &right);
+        assert!(
+            large.left_candidates_of_right[0].len() >= small.left_candidates_of_right[0].len()
+        );
+    }
+
+    #[test]
+    fn empty_tables_are_handled() {
+        let out = Blocker::new().block::<&str, &str>(&[], &[]);
+        assert_eq!(out.num_lr_pairs(), 0);
+        assert_eq!(out.num_ll_pairs(), 0);
+        let out = Blocker::new().block(&["only left"], &[] as &[&str]);
+        assert!(out.left_candidates_of_right.is_empty());
+        assert_eq!(out.left_candidates_of_left.len(), 1);
+    }
+
+    #[test]
+    fn completely_unrelated_probe_gets_few_or_no_candidates() {
+        let left = teams();
+        let right = vec!["零件 øøøø ØØØ".to_string()];
+        let out = Blocker::new().block(&left, &right);
+        assert!(out.left_candidates_of_right[0].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "blocking factor")]
+    fn zero_factor_panics() {
+        let _ = Blocker::with_factor(0.0);
+    }
+}

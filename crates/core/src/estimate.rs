@@ -1,0 +1,385 @@
+//! Unsupervised precision estimation (§3.1 of the paper).
+//!
+//! For every join function `f` the estimator pre-computes, over the blocked
+//! candidate pairs:
+//!
+//! * the nearest reference record of every right record and its distance
+//!   (this is `J_C(r)` for any threshold that admits the pair, Eq. 1), and
+//! * for every reference record that is someone's nearest neighbour, the
+//!   sorted distances to its blocked reference neighbours (the "2d-ball"
+//!   structure of Figure 4).
+//!
+//! The per-pair precision estimate is the multiplicative inverse of the
+//! number of reference records inside the ball (Eq. 8/9): a clean ball means
+//! the join is "safe", a crowded ball means the threshold is too lax in that
+//! record's neighbourhood.
+
+use crate::options::BallMode;
+use crate::oracle::DistanceOracle;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Pre-computed statistics for one join function.
+#[derive(Debug, Clone)]
+pub struct FunctionStats {
+    /// For every right record: its nearest left candidate and distance, or
+    /// `None` when blocking / negative rules left no candidate.
+    pub nearest: Vec<Option<(u32, f32)>>,
+    /// Right records that have a nearest candidate, sorted by ascending
+    /// distance (ties broken by right index for determinism).
+    pub sorted_rights: Vec<(u32, f32)>,
+    /// For every left record appearing as someone's nearest neighbour: the
+    /// ascending distances to its blocked left neighbours.
+    pub ll_sorted: HashMap<u32, Vec<f32>>,
+    /// Candidate thresholds for this function, ascending and deduplicated.
+    pub thresholds: Vec<f32>,
+}
+
+impl FunctionStats {
+    /// Build the statistics for function `f_idx`.
+    pub fn build<O: DistanceOracle>(
+        f_idx: usize,
+        oracle: &O,
+        lr_candidates: &[Vec<usize>],
+        ll_candidates: &[Vec<usize>],
+        num_thresholds: usize,
+    ) -> Self {
+        let num_right = oracle.num_right();
+        let mut nearest: Vec<Option<(u32, f32)>> = Vec::with_capacity(num_right);
+        for (r, cands) in lr_candidates.iter().enumerate().take(num_right) {
+            let mut best: Option<(u32, f32)> = None;
+            for &l in cands {
+                let d = oracle.lr(f_idx, l, r) as f32;
+                if !d.is_finite() {
+                    continue;
+                }
+                match best {
+                    Some((_, bd)) if d >= bd => {}
+                    _ => best = Some((l as u32, d)),
+                }
+            }
+            nearest.push(best);
+        }
+
+        let mut sorted_rights: Vec<(u32, f32)> = nearest
+            .iter()
+            .enumerate()
+            .filter_map(|(r, n)| n.map(|(_, d)| (r as u32, d)))
+            .collect();
+        sorted_rights.sort_unstable_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+
+        // L–L neighbourhood distances, only for the left records that matter.
+        let mut ll_sorted: HashMap<u32, Vec<f32>> = HashMap::new();
+        for n in nearest.iter().flatten() {
+            ll_sorted.entry(n.0).or_default();
+        }
+        for (l, dists) in ll_sorted.iter_mut() {
+            let l = *l as usize;
+            let mut v: Vec<f32> = ll_candidates
+                .get(l)
+                .map(|cands| {
+                    cands
+                        .iter()
+                        .map(|&l2| oracle.ll(f_idx, l, l2) as f32)
+                        .filter(|d| d.is_finite())
+                        .collect()
+                })
+                .unwrap_or_default();
+            v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            *dists = v;
+        }
+
+        let thresholds = pick_thresholds(&sorted_rights, num_thresholds);
+
+        Self {
+            nearest,
+            sorted_rights,
+            ll_sorted,
+            thresholds,
+        }
+    }
+
+    /// Number of right records joined under threshold `theta` (i.e. whose
+    /// nearest distance is ≤ `theta`).
+    pub fn joined_count(&self, theta: f32) -> usize {
+        self.sorted_rights
+            .partition_point(|&(_, d)| d <= theta)
+    }
+
+    /// The per-pair precision estimate for the right record at `rank` within
+    /// [`Self::sorted_rights`], under threshold `theta`.
+    ///
+    /// With [`BallMode::ConfigTheta`] the ball radius is `2θ` (Eq. 9); with
+    /// [`BallMode::PairDistance`] it is `2·f(l, r)` (Eq. 8).  Neighbours are
+    /// counted strictly inside the ball (with a small tolerance): the paper's
+    /// geometric argument is that `d < w/2 ⇒ 2d < w`, so a reference
+    /// neighbour sitting *exactly* on the boundary (`w = 2d`, e.g. "one token
+    /// added" vs "one token substituted" under Jaccard) does not contradict
+    /// the safety of the join and must not be counted.  The one exception is
+    /// a degenerate zero-radius ball: reference records at distance ≈ 0 from
+    /// `l` are indistinguishable alternatives for `r` and are always counted,
+    /// otherwise an exactly-duplicated (e.g. categorical) value would look
+    /// perfectly safe.
+    pub fn precision_at_rank(&self, rank: usize, theta: f32, mode: BallMode) -> f64 {
+        const BOUNDARY_EPS: f64 = 1e-6;
+        let (r, d) = self.sorted_rights[rank];
+        let l = self.nearest[r as usize].expect("rank refers to a joined right record").0;
+        let radius = match mode {
+            BallMode::ConfigTheta => 2.0 * theta as f64,
+            BallMode::PairDistance => 2.0 * d as f64,
+        };
+        let cutoff = (radius - BOUNDARY_EPS).max(0.5 * BOUNDARY_EPS);
+        let neighbours_in_ball = self
+            .ll_sorted
+            .get(&l)
+            .map(|v| v.partition_point(|&x| (x as f64) < cutoff))
+            .unwrap_or(0);
+        1.0 / (1.0 + neighbours_in_ball as f64)
+    }
+
+    /// The nearest left record and distance of right record `r`, if any.
+    pub fn nearest_of(&self, r: usize) -> Option<(u32, f32)> {
+        self.nearest[r]
+    }
+}
+
+/// Pick up to `num_thresholds` candidate thresholds from the distribution of
+/// nearest-neighbour distances: the unique distance values at evenly spaced
+/// quantiles (always including the smallest and largest).
+fn pick_thresholds(sorted_rights: &[(u32, f32)], num_thresholds: usize) -> Vec<f32> {
+    if sorted_rights.is_empty() {
+        return Vec::new();
+    }
+    let n = sorted_rights.len();
+    let mut out: Vec<f32> = Vec::with_capacity(num_thresholds.min(n));
+    if num_thresholds >= n {
+        out.extend(sorted_rights.iter().map(|&(_, d)| d));
+    } else {
+        for k in 0..num_thresholds {
+            let idx = (k * (n - 1)) / (num_thresholds - 1).max(1);
+            out.push(sorted_rights[idx].1);
+        }
+    }
+    out.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    out.dedup();
+    out
+}
+
+/// Pre-computed statistics for every function in the search space
+/// (Algorithm 1, lines 3–4).
+#[derive(Debug, Clone)]
+pub struct Precompute {
+    /// One entry per join function, aligned with the search space.
+    pub functions: Vec<FunctionStats>,
+    num_right: usize,
+}
+
+impl Precompute {
+    /// Build the statistics for every function, in parallel.
+    pub fn build<O: DistanceOracle>(
+        oracle: &O,
+        lr_candidates: &[Vec<usize>],
+        ll_candidates: &[Vec<usize>],
+        num_thresholds: usize,
+    ) -> Self {
+        let functions: Vec<FunctionStats> = (0..oracle.num_functions())
+            .into_par_iter()
+            .map(|f| FunctionStats::build(f, oracle, lr_candidates, ll_candidates, num_thresholds))
+            .collect();
+        Self {
+            functions,
+            num_right: oracle.num_right(),
+        }
+    }
+
+    /// Number of right records.
+    pub fn num_right(&self) -> usize {
+        self.num_right
+    }
+
+    /// Total number of candidate configurations `Σ_f |thresholds(f)|`.
+    pub fn num_candidate_configs(&self) -> usize {
+        self.functions.iter().map(|f| f.thresholds.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SingleColumnOracle;
+    use autofj_text::{DistanceFunction, JoinFunction, Preprocessing, Tokenization, TokenWeighting};
+
+    fn jaccard_space() -> Vec<JoinFunction> {
+        vec![JoinFunction::set_based(
+            Preprocessing::Lower,
+            Tokenization::Space,
+            TokenWeighting::Equal,
+            DistanceFunction::Jaccard,
+        )]
+    }
+
+    /// A reference table on a regular "grid": every record differs from its
+    /// neighbours by one token out of five, so nearest L–L distances are all
+    /// 1/3 (Jaccard of 4-of-6) ... the exact values matter less than the
+    /// *relative* crowding of the 2d-ball.
+    fn grid_left() -> Vec<String> {
+        let years = ["2005", "2006", "2007", "2008"];
+        let teams = ["lsu tigers", "wisconsin badgers", "alabama tide"];
+        let mut v = Vec::new();
+        for y in years {
+            for t in teams {
+                v.push(format!("{y} {t} football team"));
+            }
+        }
+        v
+    }
+
+    fn all_candidates(n_left: usize, n_right: usize) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+        let lr = (0..n_right).map(|_| (0..n_left).collect()).collect();
+        let ll = (0..n_left)
+            .map(|i| (0..n_left).filter(|&j| j != i).collect())
+            .collect();
+        (lr, ll)
+    }
+
+    #[test]
+    fn nearest_neighbour_is_found() {
+        let left = grid_left();
+        let right = vec!["2007 lsu tigers football".to_string()];
+        let fns = jaccard_space();
+        let oracle = SingleColumnOracle::build(&fns, &left, &right);
+        let (lr, ll) = all_candidates(left.len(), right.len());
+        let stats = FunctionStats::build(0, &oracle, &lr, &ll, 10);
+        let (l, d) = stats.nearest_of(0).unwrap();
+        assert_eq!(left[l as usize], "2007 lsu tigers football team");
+        assert!(d > 0.0 && d < 0.3);
+    }
+
+    #[test]
+    fn safe_pair_has_high_precision_crowded_pair_has_low() {
+        let left = grid_left();
+        // r0: a small perturbation of an existing record -> clean ball.
+        // r1: equally far from several records (its true counterpart is not
+        //     in L, mimicking Figure 4(b)) -> crowded ball.
+        let right = vec![
+            "2007 lsu tigers football team usa".to_string(),
+            "2007 oregon ducks football team".to_string(),
+        ];
+        let fns = jaccard_space();
+        let oracle = SingleColumnOracle::build(&fns, &left, &right);
+        let (lr, ll) = all_candidates(left.len(), right.len());
+        let stats = FunctionStats::build(0, &oracle, &lr, &ll, 25);
+        // Locate each right record's rank.
+        let rank_of = |r: u32| {
+            stats
+                .sorted_rights
+                .iter()
+                .position(|&(ri, _)| ri == r)
+                .unwrap()
+        };
+        let theta_small = stats.sorted_rights[rank_of(0)].1;
+        let p_safe = stats.precision_at_rank(rank_of(0), theta_small, BallMode::ConfigTheta);
+        let theta_big = stats.sorted_rights[rank_of(1)].1;
+        let p_crowded = stats.precision_at_rank(rank_of(1), theta_big, BallMode::ConfigTheta);
+        assert!(p_safe > p_crowded, "safe {p_safe} vs crowded {p_crowded}");
+        assert!(p_safe > 0.9);
+        assert!(p_crowded < 0.5);
+    }
+
+    #[test]
+    fn pair_distance_mode_is_at_least_as_optimistic_as_config_theta() {
+        let left = grid_left();
+        let right = vec!["2006 wisconsin badgers football".to_string()];
+        let fns = jaccard_space();
+        let oracle = SingleColumnOracle::build(&fns, &left, &right);
+        let (lr, ll) = all_candidates(left.len(), right.len());
+        let stats = FunctionStats::build(0, &oracle, &lr, &ll, 25);
+        let theta = *stats.thresholds.last().unwrap();
+        let p_theta = stats.precision_at_rank(0, theta, BallMode::ConfigTheta);
+        let p_pair = stats.precision_at_rank(0, theta, BallMode::PairDistance);
+        // The pair-distance ball (2d) is never larger than the config ball (2θ)
+        // for θ ≥ d, so its precision estimate is never smaller.
+        assert!(p_pair >= p_theta);
+    }
+
+    #[test]
+    fn joined_count_is_monotone_in_theta() {
+        let left = grid_left();
+        let right: Vec<String> = left.iter().map(|s| format!("{s} x")).collect();
+        let fns = jaccard_space();
+        let oracle = SingleColumnOracle::build(&fns, &left, &right);
+        let (lr, ll) = all_candidates(left.len(), right.len());
+        let stats = FunctionStats::build(0, &oracle, &lr, &ll, 10);
+        let mut prev = 0;
+        for &t in &stats.thresholds {
+            let c = stats.joined_count(t);
+            assert!(c >= prev);
+            prev = c;
+        }
+        assert_eq!(prev, right.len());
+    }
+
+    #[test]
+    fn thresholds_are_sorted_unique_and_bounded_by_s() {
+        let left = grid_left();
+        let right: Vec<String> = (0..40).map(|i| format!("record number {i}")).collect();
+        let fns = jaccard_space();
+        let oracle = SingleColumnOracle::build(&fns, &left, &right);
+        let (lr, ll) = all_candidates(left.len(), right.len());
+        let stats = FunctionStats::build(0, &oracle, &lr, &ll, 7);
+        assert!(stats.thresholds.len() <= 7);
+        assert!(stats
+            .thresholds
+            .windows(2)
+            .all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn empty_right_table_produces_empty_stats() {
+        let left = grid_left();
+        let right: Vec<String> = vec![];
+        let fns = jaccard_space();
+        let oracle = SingleColumnOracle::build(&fns, &left, &right);
+        let (lr, ll) = all_candidates(left.len(), 0);
+        let pre = Precompute::build(&oracle, &lr, &ll, 50);
+        assert_eq!(pre.num_right(), 0);
+        assert_eq!(pre.num_candidate_configs(), 0);
+    }
+
+
+    #[test]
+    fn exact_duplicate_reference_values_are_never_safe() {
+        // A "categorical" column: many reference records share the same value,
+        // and the query record equals one of them exactly (distance 0).  The
+        // zero-radius ball must still count the duplicate alternatives, so the
+        // estimated precision must be low (Appendix A's under-specification
+        // argument: such a join cannot be trusted).
+        let left: Vec<String> = (0..10)
+            .map(|i| if i < 5 { "2008".to_string() } else { format!("199{i}") })
+            .collect();
+        let right = vec!["2008".to_string()];
+        let fns = jaccard_space();
+        let oracle = SingleColumnOracle::build(&fns, &left, &right);
+        let (lr, ll) = all_candidates(left.len(), right.len());
+        let stats = FunctionStats::build(0, &oracle, &lr, &ll, 10);
+        let p = stats.precision_at_rank(0, stats.sorted_rights[0].1, BallMode::ConfigTheta);
+        assert!(p <= 0.5, "duplicated categorical value got precision {p}");
+    }
+
+    #[test]
+    fn record_with_no_candidates_has_no_nearest() {
+        let left = grid_left();
+        let right = vec!["anything".to_string()];
+        let fns = jaccard_space();
+        let oracle = SingleColumnOracle::build(&fns, &left, &right);
+        let lr = vec![vec![]]; // blocking (or negative rules) removed everything
+        let ll = vec![vec![]; left.len()];
+        let stats = FunctionStats::build(0, &oracle, &lr, &ll, 10);
+        assert!(stats.nearest_of(0).is_none());
+        assert!(stats.sorted_rights.is_empty());
+    }
+}

@@ -1,0 +1,475 @@
+//! The greedy union-of-configurations search (Algorithm 1 of the paper).
+//!
+//! Starting from an empty solution `U`, the search repeatedly adds the
+//! candidate configuration `C = ⟨f, θ⟩` that maximizes
+//! `profit(U ∪ {C}) = TP(U ∪ {C}) / FP(U ∪ {C})` — i.e. the most expected
+//! true positives per expected false positive — and stops as soon as the
+//! estimated precision of the grown solution would drop below the target
+//! `τ`, or no candidate adds new joins.
+//!
+//! Conflicts (a right record joined to different left records by different
+//! configurations) are resolved by keeping the assignment with the higher
+//! per-pair precision estimate, as described at the end of §3.1.
+
+use crate::estimate::Precompute;
+use crate::options::{AutoFjOptions, BallMode};
+use serde::{Deserialize, Serialize};
+
+/// A candidate configuration identified by its position in the pre-compute.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CandidateConfig {
+    /// Index of the join function in the search space.
+    pub function: usize,
+    /// Distance threshold θ.
+    pub threshold: f32,
+}
+
+/// The assignment of one right record after the greedy search.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Assigned {
+    /// Matched left record.
+    pub left: u32,
+    /// Distance under the configuration that produced the join.
+    pub distance: f32,
+    /// Per-pair precision estimate.
+    pub precision: f64,
+    /// Ordinal of the configuration (within the selected union) that produced
+    /// the join.
+    pub config_ordinal: usize,
+}
+
+/// The outcome of the greedy search.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GreedyOutcome {
+    /// The selected union of configurations, in selection order.
+    pub selected: Vec<CandidateConfig>,
+    /// Final assignment of every right record.
+    pub assignment: Vec<Option<Assigned>>,
+    /// Expected number of true positives (estimated recall, Eq. 13).
+    pub tp: f64,
+    /// Expected number of false positives.
+    pub fp: f64,
+    /// Estimated precision of the solution after each accepted iteration.
+    pub precision_trace: Vec<f64>,
+}
+
+impl GreedyOutcome {
+    /// Estimated precision of the final solution (1.0 when nothing joined).
+    pub fn estimated_precision(&self) -> f64 {
+        if self.tp + self.fp <= 0.0 {
+            1.0
+        } else {
+            self.tp / (self.tp + self.fp)
+        }
+    }
+
+    /// Estimated recall (expected number of true positives).
+    pub fn estimated_recall(&self) -> f64 {
+        self.tp
+    }
+}
+
+/// The change a candidate would make to the current solution.
+#[derive(Debug, Clone, Copy, Default)]
+struct Delta {
+    tp: f64,
+    fp: f64,
+    new_joins: usize,
+}
+
+/// Evaluate the delta of adding candidate `cand` to the current assignment.
+fn evaluate_candidate(
+    pre: &Precompute,
+    assignment: &[Option<Assigned>],
+    cand: CandidateConfig,
+    ball_mode: BallMode,
+) -> Delta {
+    let stats = &pre.functions[cand.function];
+    let joined = stats.joined_count(cand.threshold);
+    let mut delta = Delta::default();
+    for rank in 0..joined {
+        let (r, d) = stats.sorted_rights[rank];
+        let (l, _) = stats.nearest[r as usize].expect("joined right record has a nearest");
+        let p = stats.precision_at_rank(rank, cand.threshold, ball_mode);
+        match &assignment[r as usize] {
+            None => {
+                delta.tp += p;
+                delta.fp += 1.0 - p;
+                delta.new_joins += 1;
+            }
+            Some(a) if a.left == l => {
+                // Same join already produced by an earlier configuration —
+                // the union does not change.
+                let _ = d;
+            }
+            Some(a) => {
+                // Conflict: keep the more confident assignment (§3.1).
+                if p > a.precision {
+                    delta.tp += p - a.precision;
+                    delta.fp += a.precision - p;
+                }
+            }
+        }
+    }
+    delta
+}
+
+/// Apply candidate `cand` to the assignment, mutating it in place.
+fn apply_candidate(
+    pre: &Precompute,
+    assignment: &mut [Option<Assigned>],
+    cand: CandidateConfig,
+    config_ordinal: usize,
+    ball_mode: BallMode,
+) -> Delta {
+    let stats = &pre.functions[cand.function];
+    let joined = stats.joined_count(cand.threshold);
+    let mut delta = Delta::default();
+    for rank in 0..joined {
+        let (r, d) = stats.sorted_rights[rank];
+        let (l, _) = stats.nearest[r as usize].expect("joined right record has a nearest");
+        let p = stats.precision_at_rank(rank, cand.threshold, ball_mode);
+        let slot = &mut assignment[r as usize];
+        match slot {
+            None => {
+                delta.tp += p;
+                delta.fp += 1.0 - p;
+                delta.new_joins += 1;
+                *slot = Some(Assigned {
+                    left: l,
+                    distance: d,
+                    precision: p,
+                    config_ordinal,
+                });
+            }
+            Some(a) if a.left == l => {}
+            Some(a) => {
+                if p > a.precision {
+                    delta.tp += p - a.precision;
+                    delta.fp += a.precision - p;
+                    *a = Assigned {
+                        left: l,
+                        distance: d,
+                        precision: p,
+                        config_ordinal,
+                    };
+                }
+            }
+        }
+    }
+    delta
+}
+
+/// Enumerate every candidate configuration of a pre-compute.
+pub fn candidate_configs(pre: &Precompute) -> Vec<CandidateConfig> {
+    let mut out = Vec::with_capacity(pre.num_candidate_configs());
+    for (f, stats) in pre.functions.iter().enumerate() {
+        for &t in &stats.thresholds {
+            out.push(CandidateConfig {
+                function: f,
+                threshold: t,
+            });
+        }
+    }
+    out
+}
+
+/// Run Algorithm 1 over a pre-compute.
+pub fn run_greedy(pre: &Precompute, options: &AutoFjOptions) -> GreedyOutcome {
+    if !options.union_of_configurations {
+        return run_single_best(pre, options);
+    }
+    let tau = options.precision_target;
+    let ball = options.ball_mode;
+    let mut candidates = candidate_configs(pre);
+    let mut assignment: Vec<Option<Assigned>> = vec![None; pre.num_right()];
+    let mut selected = Vec::new();
+    let mut precision_trace = Vec::new();
+    let mut tp = 0.0f64;
+    let mut fp = 0.0f64;
+
+    for _iter in 0..options.max_iterations {
+        if candidates.is_empty() {
+            break;
+        }
+        // Line 7-10: find the candidate with maximal profit(U ∪ {C}).
+        let mut best: Option<(usize, Delta, f64)> = None;
+        for (ci, &cand) in candidates.iter().enumerate() {
+            let delta = evaluate_candidate(pre, &assignment, cand, ball);
+            if delta.tp <= 0.0 {
+                continue;
+            }
+            let profit = (tp + delta.tp) / (fp + delta.fp).max(1e-9);
+            let better = match &best {
+                None => true,
+                Some((_, _, bp)) => profit > *bp,
+            };
+            if better {
+                best = Some((ci, delta, profit));
+            }
+        }
+        let Some((best_idx, delta, _)) = best else {
+            // No candidate adds any new expected true positive.
+            break;
+        };
+        // Line 11: check the precision of the grown solution.
+        let new_tp = tp + delta.tp;
+        let new_fp = fp + delta.fp;
+        let new_precision = new_tp / (new_tp + new_fp).max(1e-12);
+        if new_precision <= tau && !selected.is_empty() {
+            break;
+        }
+        if new_precision <= tau && selected.is_empty() {
+            // Even the most profitable single configuration cannot meet the
+            // target: return an empty (join-nothing) program, which trivially
+            // satisfies the constraint.
+            break;
+        }
+        let cand = candidates.swap_remove(best_idx);
+        let applied = apply_candidate(pre, &mut assignment, cand, selected.len(), ball);
+        tp += applied.tp;
+        fp += applied.fp;
+        selected.push(cand);
+        precision_trace.push(tp / (tp + fp).max(1e-12));
+    }
+
+    GreedyOutcome {
+        selected,
+        assignment,
+        tp,
+        fp,
+        precision_trace,
+    }
+}
+
+/// The `AutoFJ-UC` ablation: pick the single configuration with the highest
+/// estimated recall among those meeting the precision target.
+fn run_single_best(pre: &Precompute, options: &AutoFjOptions) -> GreedyOutcome {
+    let tau = options.precision_target;
+    let ball = options.ball_mode;
+    let empty: Vec<Option<Assigned>> = vec![None; pre.num_right()];
+    let mut best: Option<(CandidateConfig, Delta)> = None;
+    for cand in candidate_configs(pre) {
+        let delta = evaluate_candidate(pre, &empty, cand, ball);
+        if delta.tp <= 0.0 {
+            continue;
+        }
+        let precision = delta.tp / (delta.tp + delta.fp).max(1e-12);
+        if precision <= tau {
+            continue;
+        }
+        let better = match &best {
+            None => true,
+            Some((_, b)) => delta.tp > b.tp,
+        };
+        if better {
+            best = Some((cand, delta));
+        }
+    }
+    let mut assignment = vec![None; pre.num_right()];
+    let mut selected = Vec::new();
+    let mut tp = 0.0;
+    let mut fp = 0.0;
+    let mut precision_trace = Vec::new();
+    if let Some((cand, _)) = best {
+        let applied = apply_candidate(pre, &mut assignment, cand, 0, ball);
+        tp = applied.tp;
+        fp = applied.fp;
+        selected.push(cand);
+        precision_trace.push(tp / (tp + fp).max(1e-12));
+    }
+    GreedyOutcome {
+        selected,
+        assignment,
+        tp,
+        fp,
+        precision_trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle::SingleColumnOracle;
+    use autofj_text::{
+        DistanceFunction, JoinFunction, Preprocessing, Tokenization, TokenWeighting,
+    };
+
+    fn space() -> Vec<JoinFunction> {
+        vec![
+            JoinFunction::set_based(
+                Preprocessing::Lower,
+                Tokenization::Space,
+                TokenWeighting::Equal,
+                DistanceFunction::Jaccard,
+            ),
+            JoinFunction::set_based(
+                Preprocessing::Lower,
+                Tokenization::Space,
+                TokenWeighting::Equal,
+                DistanceFunction::ContainJaccard,
+            ),
+            JoinFunction::char_based(Preprocessing::Lower, DistanceFunction::Edit),
+        ]
+    }
+
+    fn grid_left() -> Vec<String> {
+        let years = ["2004", "2005", "2006", "2007", "2008"];
+        let teams = [
+            "lsu tigers",
+            "wisconsin badgers",
+            "alabama crimson tide",
+            "oregon ducks",
+        ];
+        let mut v = Vec::new();
+        for y in years {
+            for t in teams {
+                v.push(format!("{y} {t} football team"));
+            }
+        }
+        v
+    }
+
+    fn all_candidates(n_left: usize, n_right: usize) -> (Vec<Vec<usize>>, Vec<Vec<usize>>) {
+        let lr = (0..n_right).map(|_| (0..n_left).collect()).collect();
+        let ll = (0..n_left)
+            .map(|i| (0..n_left).filter(|&j| j != i).collect())
+            .collect();
+        (lr, ll)
+    }
+
+    fn build_pre(left: &[String], right: &[String]) -> Precompute {
+        let oracle = SingleColumnOracle::build(&space(), left, right);
+        let (lr, ll) = all_candidates(left.len(), right.len());
+        Precompute::build(&oracle, &lr, &ll, 25)
+    }
+
+    #[test]
+    fn greedy_joins_close_variants_and_meets_precision_target() {
+        let left = grid_left();
+        // Small perturbations of existing records: extra token or a typo.
+        let right: Vec<String> = vec![
+            "2005 lsu tigers football team (ncaa)".to_string(),
+            "the 2006 wisconsin badgers football team".to_string(),
+            "2007 oregon ducks football".to_string(),
+            "completely unrelated thing".to_string(),
+        ];
+        let pre = build_pre(&left, &right);
+        let options = AutoFjOptions::default();
+        let out = run_greedy(&pre, &options);
+        assert!(!out.selected.is_empty());
+        assert!(out.estimated_precision() > options.precision_target);
+        // The three perturbed records should be joined to their counterparts.
+        assert_eq!(out.assignment[0].map(|a| a.left), Some(4));
+        assert_eq!(out.assignment[1].map(|a| a.left), Some(9));
+        assert_eq!(out.assignment[2].map(|a| a.left), Some(15));
+    }
+
+    #[test]
+    fn higher_target_joins_fewer_records() {
+        let left = grid_left();
+        let right: Vec<String> = left
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                if i % 2 == 0 {
+                    format!("{s} extra")
+                } else {
+                    // Ambiguous: remove the team so that several records are
+                    // plausible counterparts.
+                    s.split_whitespace().take(1).collect::<Vec<_>>().join(" ")
+                        + " football team"
+                }
+            })
+            .collect();
+        let pre = build_pre(&left, &right);
+        let strict = run_greedy(
+            &pre,
+            &AutoFjOptions {
+                precision_target: 0.95,
+                ..Default::default()
+            },
+        );
+        let loose = run_greedy(
+            &pre,
+            &AutoFjOptions {
+                precision_target: 0.5,
+                ..Default::default()
+            },
+        );
+        assert!(loose.estimated_recall() >= strict.estimated_recall());
+    }
+
+    #[test]
+    fn single_best_mode_selects_at_most_one_config() {
+        let left = grid_left();
+        let right: Vec<String> = left.iter().map(|s| format!("{s} x")).collect();
+        let pre = build_pre(&left, &right);
+        let out = run_greedy(
+            &pre,
+            &AutoFjOptions {
+                union_of_configurations: false,
+                ..Default::default()
+            },
+        );
+        assert!(out.selected.len() <= 1);
+        assert!(out.estimated_precision() > 0.9 || out.selected.is_empty());
+    }
+
+    #[test]
+    fn union_recall_is_at_least_single_config_recall() {
+        let left = grid_left();
+        // Mix of variation types so that no single configuration covers all.
+        let right: Vec<String> = vec![
+            "2004 lsu tigers football team usa".to_string(),
+            "2005 wisconsin badgers football teem".to_string(),
+            "2006 alabama crimson tide futbal team".to_string(),
+            "2007 oregon ducks football division".to_string(),
+            "2008 lsu tigres football team".to_string(),
+        ];
+        let pre = build_pre(&left, &right);
+        let union = run_greedy(&pre, &AutoFjOptions::default());
+        let single = run_greedy(
+            &pre,
+            &AutoFjOptions {
+                union_of_configurations: false,
+                ..Default::default()
+            },
+        );
+        assert!(union.estimated_recall() >= single.estimated_recall());
+    }
+
+    #[test]
+    fn empty_precompute_yields_empty_outcome() {
+        let left = grid_left();
+        let right: Vec<String> = vec![];
+        let pre = build_pre(&left, &right);
+        let out = run_greedy(&pre, &AutoFjOptions::default());
+        assert!(out.selected.is_empty());
+        assert_eq!(out.estimated_precision(), 1.0);
+        assert_eq!(out.estimated_recall(), 0.0);
+    }
+
+    #[test]
+    fn precision_trace_has_one_entry_per_selected_config() {
+        let left = grid_left();
+        let right: Vec<String> = left.iter().map(|s| format!("{s} more")).collect();
+        let pre = build_pre(&left, &right);
+        let out = run_greedy(&pre, &AutoFjOptions::default());
+        assert_eq!(out.precision_trace.len(), out.selected.len());
+    }
+
+    #[test]
+    fn unrelated_right_records_are_left_unjoined() {
+        let left = grid_left();
+        let right: Vec<String> = vec![
+            "quantum chromodynamics lattice".to_string(),
+            "banana bread recipe".to_string(),
+        ];
+        let pre = build_pre(&left, &right);
+        let out = run_greedy(&pre, &AutoFjOptions::default());
+        // Any "joins" here would be low-precision; the estimator should keep
+        // the program empty or tiny.
+        assert!(out.assignment.iter().flatten().count() <= 1);
+    }
+}

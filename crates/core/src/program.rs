@@ -1,0 +1,244 @@
+//! Join configurations, join programs, and join results.
+//!
+//! A [`Config`] is the paper's `C = ⟨f, θ⟩` (Definition 2.2), extended with
+//! the per-column weights `w` of Definition 4.1 for multi-column joins.  A
+//! [`JoinProgram`] is the union of configurations `U` that the greedy search
+//! returns, together with the columns and weights it selected — this is the
+//! human-readable, explainable artifact the paper emphasizes.  A
+//! [`JoinResult`] additionally carries the induced mapping `J_U : R → L ∪ ⊥`
+//! and the estimator's quality numbers.
+
+use autofj_text::JoinFunction;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A join configuration `⟨f, θ⟩`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Config {
+    /// The join function.
+    pub function: JoinFunction,
+    /// The distance threshold `θ`.
+    pub threshold: f64,
+}
+
+impl Config {
+    /// Create a configuration.
+    pub fn new(function: JoinFunction, threshold: f64) -> Self {
+        Self {
+            function,
+            threshold,
+        }
+    }
+}
+
+impl fmt::Display for Config {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(l, r) ≤ {:.4}", self.function.code(), self.threshold)
+    }
+}
+
+/// One joined pair in a [`JoinResult`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JoinedPair {
+    /// Index of the right record in `R`.
+    pub right: usize,
+    /// Index of the matched left record in `L`.
+    pub left: usize,
+    /// Distance under the configuration that produced the join.
+    pub distance: f64,
+    /// Index (into the program's configuration list) of the configuration
+    /// that produced this join.
+    pub config_index: usize,
+    /// The estimator's per-pair precision (Eq. 8/9), i.e. the probability the
+    /// algorithm assigns to this join being correct.
+    pub estimated_precision: f64,
+}
+
+/// The disjunctive join program produced by Auto-FuzzyJoin.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinProgram {
+    /// The union of configurations `U = {C₁, …, C_K}`, in the order the
+    /// greedy search selected them.
+    pub configs: Vec<Config>,
+    /// Names of the columns used by the program (one entry, `"value"`, for
+    /// single-column joins).
+    pub columns: Vec<String>,
+    /// Per-column weights (aligned with `columns`; all 1.0 for single-column
+    /// joins).
+    pub column_weights: Vec<f64>,
+}
+
+impl JoinProgram {
+    /// Number of configurations in the union.
+    pub fn len(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// `true` when the program contains no configuration (joins nothing).
+    pub fn is_empty(&self) -> bool {
+        self.configs.is_empty()
+    }
+
+    /// Render the program as the disjunction the paper shows to users, e.g.
+    /// `Edit-distance(l, r) ≤ 0.125 ∨ Jaccard-distance(l, r) ≤ 0.2`.
+    pub fn describe(&self) -> String {
+        if self.configs.is_empty() {
+            return "∅ (join nothing)".to_string();
+        }
+        let body = self
+            .configs
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("  ∨  ");
+        if self.columns.len() <= 1 {
+            body
+        } else {
+            let cols = self
+                .columns
+                .iter()
+                .zip(&self.column_weights)
+                .map(|(c, w)| format!("{c}:{w:.2}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("[columns {cols}] {body}")
+        }
+    }
+}
+
+impl fmt::Display for JoinProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// The result of running an Auto-FuzzyJoin program over `L` and `R`.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct JoinResult {
+    /// The program that produced the result.
+    pub program: JoinProgram,
+    /// For every right record `r`, the matched left index (or `None` = `⊥`).
+    pub assignment: Vec<Option<usize>>,
+    /// The joined pairs with per-pair diagnostics (same information as
+    /// `assignment`, in pair form).
+    pub pairs: Vec<JoinedPair>,
+    /// The estimator's precision of the returned result (Eq. 13).
+    pub estimated_precision: f64,
+    /// The estimator's recall (expected number of true positives, Eq. 13).
+    pub estimated_recall: f64,
+    /// Estimated precision after each greedy iteration (used for the PEPCC
+    /// correlation statistic of Table 2).
+    pub precision_trace: Vec<f64>,
+}
+
+impl JoinResult {
+    /// An empty result (joins nothing) over `num_right` right records.
+    pub fn empty(num_right: usize, columns: Vec<String>, column_weights: Vec<f64>) -> Self {
+        Self {
+            program: JoinProgram {
+                configs: Vec::new(),
+                columns,
+                column_weights,
+            },
+            assignment: vec![None; num_right],
+            pairs: Vec::new(),
+            estimated_precision: 1.0,
+            estimated_recall: 0.0,
+            precision_trace: Vec::new(),
+        }
+    }
+
+    /// Number of joined right records.
+    pub fn num_joined(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The estimator's precision (convenience accessor used in examples).
+    pub fn precision_estimate(&self) -> f64 {
+        self.estimated_precision
+    }
+
+    /// The estimator's recall (number of expected true positives).
+    pub fn recall_estimate(&self) -> f64 {
+        self.estimated_recall
+    }
+
+    /// Iterate `(right, left)` joined index pairs.
+    pub fn joined_index_pairs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.pairs.iter().map(|p| (p.right, p.left))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autofj_text::{DistanceFunction, Preprocessing, Tokenization, TokenWeighting};
+
+    fn sample_program() -> JoinProgram {
+        JoinProgram {
+            configs: vec![
+                Config::new(
+                    JoinFunction::set_based(
+                        Preprocessing::Lower,
+                        Tokenization::Space,
+                        TokenWeighting::Equal,
+                        DistanceFunction::Jaccard,
+                    ),
+                    0.2,
+                ),
+                Config::new(
+                    JoinFunction::char_based(Preprocessing::Lower, DistanceFunction::Edit),
+                    0.125,
+                ),
+            ],
+            columns: vec!["value".to_string()],
+            column_weights: vec![1.0],
+        }
+    }
+
+    #[test]
+    fn describe_renders_disjunction() {
+        let p = sample_program();
+        let s = p.describe();
+        assert!(s.contains("∨"));
+        assert!(s.contains("(L, SP, EW, JD)"));
+        assert!(s.contains("0.2000"));
+    }
+
+    #[test]
+    fn empty_program_describes_join_nothing() {
+        let p = JoinProgram {
+            configs: vec![],
+            columns: vec!["value".to_string()],
+            column_weights: vec![1.0],
+        };
+        assert!(p.is_empty());
+        assert!(p.describe().contains("join nothing"));
+    }
+
+    #[test]
+    fn empty_result_has_no_pairs_and_unit_precision() {
+        let r = JoinResult::empty(5, vec!["value".to_string()], vec![1.0]);
+        assert_eq!(r.assignment.len(), 5);
+        assert_eq!(r.num_joined(), 0);
+        assert_eq!(r.estimated_precision, 1.0);
+    }
+
+    #[test]
+    fn multi_column_describe_lists_weights() {
+        let mut p = sample_program();
+        p.columns = vec!["title".to_string(), "director".to_string()];
+        p.column_weights = vec![0.9, 0.1];
+        let s = p.describe();
+        assert!(s.contains("title:0.90"));
+        assert!(s.contains("director:0.10"));
+    }
+
+    #[test]
+    fn program_serializes_to_json_and_back() {
+        let p = sample_program();
+        let json = serde_json::to_string(&p).unwrap();
+        let back: JoinProgram = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.configs.len(), 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! Input tables.
+//!
+//! Auto-FuzzyJoin joins a *reference table* `L` against a query table `R`
+//! (Definition 2.1: a many-to-one join `R → L ∪ ⊥`).  A [`Table`] is a named
+//! collection of string columns of equal length; single-column joins simply
+//! use tables with one column.
+
+use serde::{Deserialize, Serialize};
+
+/// A named string column.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    /// Column name (used when reporting which columns the multi-column
+    /// algorithm selected).
+    pub name: String,
+    /// Cell values. Missing values are represented as empty strings, per
+    /// §5.2.2 of the paper.
+    pub values: Vec<String>,
+}
+
+impl Column {
+    /// Create a column from anything string-like.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(name: &str, values: I) -> Self {
+        Self {
+            name: name.to_string(),
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// A table of one or more string columns with equal row counts.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table name (used in reports).
+    pub name: String,
+    columns: Vec<Column>,
+}
+
+impl Table {
+    /// Build a table from columns.
+    ///
+    /// # Panics
+    /// Panics if the columns have different lengths or there are no columns.
+    pub fn new(name: &str, columns: Vec<Column>) -> Self {
+        assert!(!columns.is_empty(), "a table needs at least one column");
+        let rows = columns[0].len();
+        for c in &columns {
+            assert_eq!(
+                c.len(),
+                rows,
+                "column {} has {} rows, expected {rows}",
+                c.name,
+                c.len()
+            );
+        }
+        Self {
+            name: name.to_string(),
+            columns,
+        }
+    }
+
+    /// Build a single-column table named `name` with column `value`.
+    pub fn from_strings<S: Into<String>, I: IntoIterator<Item = S>>(name: &str, values: I) -> Self {
+        Self::new(name, vec![Column::new("value", values)])
+    }
+
+    /// Build a multi-column table from `(column name, values)` pairs.
+    pub fn from_columns<S: Into<String>>(
+        name: &str,
+        columns: Vec<(&str, Vec<S>)>,
+    ) -> Self {
+        Self::new(
+            name,
+            columns
+                .into_iter()
+                .map(|(cname, values)| Column::new(cname, values))
+                .collect(),
+        )
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.columns[0].len()
+    }
+
+    /// `true` when the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// A column by position.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// A column by name.
+    pub fn column_by_name(&self, name: &str) -> Option<&Column> {
+        self.columns.iter().find(|c| c.name == name)
+    }
+
+    /// The values of the first column (convenient for single-column joins).
+    pub fn values(&self) -> &[String] {
+        &self.columns[0].values
+    }
+
+    /// Row values concatenated across all columns with a single space (used
+    /// by blocking and by baselines that treat all columns as one string).
+    pub fn concatenated_rows(&self) -> Vec<String> {
+        (0..self.len())
+            .map(|i| {
+                let mut s = String::new();
+                for (ci, c) in self.columns.iter().enumerate() {
+                    if ci > 0 {
+                        s.push(' ');
+                    }
+                    s.push_str(&c.values[i]);
+                }
+                s
+            })
+            .collect()
+    }
+
+    /// Add a column, returning a new table.
+    ///
+    /// # Panics
+    /// Panics if the new column's length does not match.
+    pub fn with_column(mut self, column: Column) -> Self {
+        assert_eq!(column.len(), self.len());
+        self.columns.push(column);
+        self
+    }
+
+    /// Keep only the rows at `indices`, preserving order.
+    pub fn select_rows(&self, indices: &[usize]) -> Self {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| Column {
+                name: c.name.clone(),
+                values: indices.iter().map(|&i| c.values[i].clone()).collect(),
+            })
+            .collect();
+        Self {
+            name: self.name.clone(),
+            columns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_strings_builds_single_column() {
+        let t = Table::from_strings("teams", ["a", "b", "c"]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.num_columns(), 1);
+        assert_eq!(t.values(), &["a", "b", "c"]);
+    }
+
+    #[test]
+    fn from_columns_builds_multi_column() {
+        let t = Table::from_columns(
+            "movies",
+            vec![
+                ("title", vec!["Alien", "Heat"]),
+                ("director", vec!["Scott", "Mann"]),
+            ],
+        );
+        assert_eq!(t.num_columns(), 2);
+        assert_eq!(t.column_by_name("director").unwrap().values[1], "Mann");
+    }
+
+    #[test]
+    #[should_panic(expected = "rows")]
+    fn mismatched_column_lengths_panic() {
+        Table::new(
+            "bad",
+            vec![Column::new("a", ["x"]), Column::new("b", ["y", "z"])],
+        );
+    }
+
+    #[test]
+    fn concatenated_rows_joins_columns_with_space() {
+        let t = Table::from_columns(
+            "movies",
+            vec![("title", vec!["Alien"]), ("director", vec!["Scott"])],
+        );
+        assert_eq!(t.concatenated_rows(), vec!["Alien Scott"]);
+    }
+
+    #[test]
+    fn select_rows_preserves_order() {
+        let t = Table::from_strings("t", ["a", "b", "c", "d"]);
+        let s = t.select_rows(&[3, 1]);
+        assert_eq!(s.values(), &["d", "b"]);
+    }
+
+    #[test]
+    fn with_column_appends() {
+        let t = Table::from_strings("t", ["a", "b"]).with_column(Column::new("x", ["1", "2"]));
+        assert_eq!(t.num_columns(), 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Adversarial / robustness transforms of benchmark tasks (the workloads of
+//! Figure 6 and Table 4(b) in the paper).
+
+use crate::task::{MultiColumnTask, SingleColumnTask};
+use autofj_core::Column;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Robustness Test (1), Figure 6(a): add irrelevant records to `R`, drawn
+/// from the reference tables of *other* tasks.  `fraction` is the fraction of
+/// the resulting `R` that is irrelevant (0.0 = unchanged, 0.8 = 80 %
+/// irrelevant).  Irrelevant records have ground truth ⊥.
+pub fn add_irrelevant_records(
+    task: &SingleColumnTask,
+    donor_pool: &[String],
+    fraction: f64,
+    seed: u64,
+) -> SingleColumnTask {
+    assert!((0.0..1.0).contains(&fraction), "fraction must be in [0, 1)");
+    if fraction == 0.0 || donor_pool.is_empty() {
+        return task.clone();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let original = task.right.len();
+    // fraction = irrelevant / (original + irrelevant)
+    let num_irrelevant = ((fraction / (1.0 - fraction)) * original as f64).round() as usize;
+    let mut right = task.right.clone();
+    let mut ground_truth = task.ground_truth.clone();
+    for _ in 0..num_irrelevant {
+        let donor = donor_pool.choose(&mut rng).expect("non-empty donor pool");
+        right.push(donor.clone());
+        ground_truth.push(None);
+    }
+    SingleColumnTask {
+        name: format!("{}+irrelevant{:.0}%", task.name, fraction * 100.0),
+        left: task.left.clone(),
+        right,
+        ground_truth,
+    }
+}
+
+/// Robustness Test (2), Figure 6(b): a task whose `L` and `R` come from
+/// completely unrelated domains, so *every* join produced is a false
+/// positive.  The ground truth is all-⊥ by construction.
+pub fn unrelated_pair(
+    left_task: &SingleColumnTask,
+    right_task: &SingleColumnTask,
+) -> SingleColumnTask {
+    SingleColumnTask {
+        name: format!("{}×{}", left_task.name, right_task.name),
+        left: left_task.left.clone(),
+        right: right_task.right.clone(),
+        ground_truth: vec![None; right_task.right.len()],
+    }
+}
+
+/// Robustness Test (3), Figure 6(c): make the reference table sparser by
+/// removing a fraction of its records.  Ground truth entries pointing at
+/// removed records become ⊥ (their counterpart no longer exists in `L`);
+/// remaining entries are re-indexed.
+pub fn sparsify_reference(
+    task: &SingleColumnTask,
+    remove_fraction: f64,
+    seed: u64,
+) -> SingleColumnTask {
+    assert!(
+        (0.0..1.0).contains(&remove_fraction),
+        "remove_fraction must be in [0, 1)"
+    );
+    if remove_fraction == 0.0 {
+        return task.clone();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let keep_count =
+        ((task.left.len() as f64) * (1.0 - remove_fraction)).round().max(1.0) as usize;
+    let mut indices: Vec<usize> = (0..task.left.len()).collect();
+    indices.shuffle(&mut rng);
+    indices.truncate(keep_count);
+    indices.sort_unstable();
+    let mut new_index = vec![None; task.left.len()];
+    let mut left = Vec::with_capacity(keep_count);
+    for (new, &old) in indices.iter().enumerate() {
+        new_index[old] = Some(new);
+        left.push(task.left[old].clone());
+    }
+    let ground_truth = task
+        .ground_truth
+        .iter()
+        .map(|gt| gt.and_then(|old| new_index[old]))
+        .collect();
+    SingleColumnTask {
+        name: format!("{}-sparse{:.0}%", task.name, remove_fraction * 100.0),
+        left,
+        right: task.right.clone(),
+        ground_truth,
+    }
+}
+
+/// Multi-column robustness (Table 4(b)): append `num_columns` columns of
+/// random strings (length 10–50) to both tables.  Informative columns are
+/// unchanged, so a robust column-selection algorithm should ignore the new
+/// columns entirely.
+pub fn add_random_columns(
+    task: &MultiColumnTask,
+    num_columns: usize,
+    seed: u64,
+) -> MultiColumnTask {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let random_string = |rng: &mut SmallRng| -> String {
+        let len = rng.gen_range(10..=50);
+        (0..len)
+            .map(|_| (b'a' + rng.gen_range(0..26)) as char)
+            .collect()
+    };
+    let mut left = task.left.clone();
+    let mut right = task.right.clone();
+    for k in 0..num_columns {
+        let name = format!("random_{k}");
+        let lvals: Vec<String> = (0..left.len()).map(|_| random_string(&mut rng)).collect();
+        let rvals: Vec<String> = (0..right.len()).map(|_| random_string(&mut rng)).collect();
+        left = left.with_column(Column::new(&name, lvals));
+        right = right.with_column(Column::new(&name, rvals));
+    }
+    MultiColumnTask {
+        name: format!("{}+rand{}", task.name, num_columns),
+        domain: task.domain.clone(),
+        left,
+        right,
+        ground_truth: task.ground_truth.clone(),
+        informative_columns: task.informative_columns.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single_column::{benchmark_specs, BenchmarkScale};
+    use crate::multi_column::MultiColumnDataset;
+
+    fn small_task(i: usize) -> SingleColumnTask {
+        benchmark_specs(BenchmarkScale::Tiny)[i].generate()
+    }
+
+    #[test]
+    fn add_irrelevant_reaches_requested_fraction() {
+        let task = small_task(0);
+        let donor = small_task(1).left;
+        let out = add_irrelevant_records(&task, &donor, 0.5, 1);
+        let irrelevant = out.right.len() - task.right.len();
+        let frac = irrelevant as f64 / out.right.len() as f64;
+        assert!((frac - 0.5).abs() < 0.05, "got fraction {frac}");
+        // Number of ground-truth matches is unchanged.
+        assert_eq!(out.num_matches(), task.num_matches());
+        out.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let task = small_task(2);
+        let out = add_irrelevant_records(&task, &small_task(3).left, 0.0, 1);
+        assert_eq!(out.right, task.right);
+    }
+
+    #[test]
+    fn unrelated_pair_has_no_ground_truth() {
+        let a = small_task(0);
+        let b = small_task(5);
+        let out = unrelated_pair(&a, &b);
+        assert_eq!(out.num_matches(), 0);
+        assert_eq!(out.left, a.left);
+        assert_eq!(out.right, b.right);
+    }
+
+    #[test]
+    fn sparsify_remaps_ground_truth_correctly() {
+        let task = small_task(4);
+        let out = sparsify_reference(&task, 0.3, 9);
+        out.validate().unwrap();
+        assert!(out.left.len() < task.left.len());
+        assert!(out.num_matches() <= task.num_matches());
+        // Every surviving ground-truth pair still points at the same string.
+        for (r, gt) in out.ground_truth.iter().enumerate() {
+            if let Some(l_new) = gt {
+                let l_old = task.ground_truth[r].unwrap();
+                assert_eq!(out.left[*l_new], task.left[l_old]);
+            }
+        }
+    }
+
+    #[test]
+    fn add_random_columns_preserves_ground_truth_and_grows_schema() {
+        let task = MultiColumnDataset::BR.generate(0.05, 3);
+        let out = add_random_columns(&task, 2, 11);
+        assert_eq!(out.left.num_columns(), task.left.num_columns() + 2);
+        assert_eq!(out.right.num_columns(), task.right.num_columns() + 2);
+        assert_eq!(out.ground_truth, task.ground_truth);
+        out.validate().unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn bad_fraction_panics() {
+        let task = small_task(0);
+        let _ = add_irrelevant_records(&task, &task.left, 1.5, 0);
+    }
+}

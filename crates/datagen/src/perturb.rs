@@ -1,0 +1,395 @@
+//! String perturbations used to derive query records (`R`) from canonical
+//! entity names.
+//!
+//! The DBPedia benchmark of the paper gets its difficulty from the *mix* of
+//! variation types between snapshots: typos, extra or missing tokens, renamed
+//! suffixes ("… football team" vs "… football season"), abbreviations,
+//! punctuation and casing noise.  Each [`Perturbation`] reproduces one of
+//! those variation types; a [`PerturbationMix`] samples which ones to apply
+//! to a given record.
+
+use crate::words::QUALIFIERS;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One kind of string variation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Perturbation {
+    /// Introduce 1–2 character-level edits into a random token (typos).
+    Typo,
+    /// Append an extraneous qualifier token ("(official)", "USA", …).
+    ExtraToken,
+    /// Drop one non-leading token.
+    DropToken,
+    /// Replace a trailing "kind" word with a synonym ("team" → "season",
+    /// "club" → "side", …) — the Wikipedia-rename style of variation.
+    RenameSuffix,
+    /// Abbreviate one token to its initial plus a period.
+    Abbreviate,
+    /// Change casing and insert/remove punctuation.
+    CaseAndPunct,
+    /// Swap two adjacent tokens.
+    SwapTokens,
+    /// Duplicate whitespace / introduce stray hyphens (formatting noise).
+    Whitespace,
+}
+
+impl Perturbation {
+    /// Apply this perturbation to `s`, returning the varied string.
+    pub fn apply(&self, s: &str, rng: &mut SmallRng) -> String {
+        match self {
+            Perturbation::Typo => typo(s, rng),
+            Perturbation::ExtraToken => extra_token(s, rng),
+            Perturbation::DropToken => drop_token(s, rng),
+            Perturbation::RenameSuffix => rename_suffix(s, rng),
+            Perturbation::Abbreviate => abbreviate(s, rng),
+            Perturbation::CaseAndPunct => case_and_punct(s, rng),
+            Perturbation::SwapTokens => swap_tokens(s, rng),
+            Perturbation::Whitespace => whitespace_noise(s, rng),
+        }
+    }
+}
+
+/// A weighted mix of perturbations.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerturbationMix {
+    weighted: Vec<(Perturbation, f64)>,
+    /// Probability of applying a second, independent perturbation.
+    pub second_perturbation_prob: f64,
+}
+
+impl PerturbationMix {
+    /// Create a mix from `(perturbation, weight)` pairs.
+    ///
+    /// # Panics
+    /// Panics if the list is empty or all weights are non-positive.
+    pub fn new(weighted: Vec<(Perturbation, f64)>, second_perturbation_prob: f64) -> Self {
+        assert!(!weighted.is_empty(), "perturbation mix cannot be empty");
+        assert!(
+            weighted.iter().any(|(_, w)| *w > 0.0),
+            "at least one weight must be positive"
+        );
+        Self {
+            weighted,
+            second_perturbation_prob,
+        }
+    }
+
+    /// A balanced default mix covering every variation type.
+    pub fn balanced() -> Self {
+        Self::new(
+            vec![
+                (Perturbation::Typo, 2.0),
+                (Perturbation::ExtraToken, 2.0),
+                (Perturbation::DropToken, 1.5),
+                (Perturbation::RenameSuffix, 1.5),
+                (Perturbation::Abbreviate, 1.0),
+                (Perturbation::CaseAndPunct, 1.5),
+                (Perturbation::SwapTokens, 0.5),
+                (Perturbation::Whitespace, 1.0),
+            ],
+            0.3,
+        )
+    }
+
+    /// A mix dominated by token-level variation (extra / dropped / renamed
+    /// tokens) — plays to set-based distances.
+    pub fn token_heavy() -> Self {
+        Self::new(
+            vec![
+                (Perturbation::ExtraToken, 3.0),
+                (Perturbation::DropToken, 2.0),
+                (Perturbation::RenameSuffix, 2.0),
+                (Perturbation::CaseAndPunct, 1.0),
+                (Perturbation::SwapTokens, 1.0),
+            ],
+            0.25,
+        )
+    }
+
+    /// A mix dominated by character-level variation (typos, abbreviations,
+    /// formatting) — plays to character-based distances.
+    pub fn char_heavy() -> Self {
+        Self::new(
+            vec![
+                (Perturbation::Typo, 4.0),
+                (Perturbation::Abbreviate, 1.5),
+                (Perturbation::CaseAndPunct, 1.5),
+                (Perturbation::Whitespace, 1.5),
+                (Perturbation::ExtraToken, 1.0),
+            ],
+            0.3,
+        )
+    }
+
+    /// Sample one perturbation according to the weights.
+    pub fn sample(&self, rng: &mut SmallRng) -> Perturbation {
+        let total: f64 = self.weighted.iter().map(|(_, w)| w.max(0.0)).sum();
+        let mut x = rng.gen_range(0.0..total);
+        for (p, w) in &self.weighted {
+            let w = w.max(0.0);
+            if x < w {
+                return *p;
+            }
+            x -= w;
+        }
+        self.weighted.last().expect("non-empty mix").0
+    }
+
+    /// Apply 1–2 sampled perturbations, retrying until the result differs
+    /// from the input (the paper removes trivial equi-joins from its
+    /// benchmark).
+    pub fn perturb(&self, s: &str, rng: &mut SmallRng) -> String {
+        for _ in 0..16 {
+            let mut out = self.sample(rng).apply(s, rng);
+            if rng.gen_bool(self.second_perturbation_prob) {
+                out = self.sample(rng).apply(&out, rng);
+            }
+            if out != s && !out.trim().is_empty() {
+                return out;
+            }
+        }
+        // Fall back to a guaranteed change.
+        format!("{s} (alt)")
+    }
+}
+
+const KIND_SYNONYMS: &[(&str, &str)] = &[
+    ("team", "season"),
+    ("season", "team"),
+    ("club", "side"),
+    ("league", "division"),
+    ("station", "channel"),
+    ("election", "elections"),
+    ("tournament", "championship"),
+    ("championship", "tournament"),
+    ("line", "route"),
+    ("award", "prize"),
+    ("hospital", "medical center"),
+    ("museum", "gallery"),
+];
+
+fn tokens_of(s: &str) -> Vec<String> {
+    s.split_whitespace().map(str::to_string).collect()
+}
+
+fn typo(s: &str, rng: &mut SmallRng) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    if chars.len() < 4 {
+        return format!("{s}x");
+    }
+    let mut out = chars.clone();
+    let edits = 1 + usize::from(rng.gen_bool(0.3));
+    for _ in 0..edits {
+        // Only edit alphabetic positions so numbers (years) keep their meaning.
+        let alpha_positions: Vec<usize> = out
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.is_alphabetic())
+            .map(|(i, _)| i)
+            .collect();
+        if alpha_positions.is_empty() {
+            break;
+        }
+        let pos = *alpha_positions.choose(rng).expect("non-empty");
+        match rng.gen_range(0..4) {
+            0 => {
+                // substitution
+                let c = (b'a' + rng.gen_range(0..26)) as char;
+                out[pos] = c;
+            }
+            1 => {
+                // deletion
+                out.remove(pos);
+            }
+            2 => {
+                // insertion
+                let c = (b'a' + rng.gen_range(0..26)) as char;
+                out.insert(pos, c);
+            }
+            _ => {
+                // transposition with the next char, if any
+                if pos + 1 < out.len() {
+                    out.swap(pos, pos + 1);
+                }
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+fn extra_token(s: &str, rng: &mut SmallRng) -> String {
+    let q = QUALIFIERS.choose(rng).expect("non-empty qualifiers");
+    if rng.gen_bool(0.5) {
+        format!("{s} {q}")
+    } else {
+        format!("{q} {s}")
+    }
+}
+
+fn drop_token(s: &str, rng: &mut SmallRng) -> String {
+    let mut toks = tokens_of(s);
+    if toks.len() <= 2 {
+        return s.to_string();
+    }
+    let idx = rng.gen_range(1..toks.len());
+    toks.remove(idx);
+    toks.join(" ")
+}
+
+fn rename_suffix(s: &str, rng: &mut SmallRng) -> String {
+    let toks = tokens_of(s);
+    for (i, t) in toks.iter().enumerate().rev() {
+        let lower = t.to_lowercase();
+        let candidates: Vec<&(&str, &str)> = KIND_SYNONYMS
+            .iter()
+            .filter(|(from, _)| *from == lower)
+            .collect();
+        if let Some((_, to)) = candidates.choose(rng) {
+            let mut out = toks.clone();
+            out[i] = to.to_string();
+            return out.join(" ");
+        }
+    }
+    // No renamable word found: fall back to appending a kind word.
+    format!("{s} {}", if rng.gen_bool(0.5) { "page" } else { "article" })
+}
+
+fn abbreviate(s: &str, rng: &mut SmallRng) -> String {
+    let mut toks = tokens_of(s);
+    let idx: Vec<usize> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| t.len() > 3 && t.chars().all(|c| c.is_alphabetic()))
+        .map(|(i, _)| i)
+        .collect();
+    if let Some(&i) = idx.choose(rng) {
+        let initial = toks[i].chars().next().expect("non-empty token");
+        toks[i] = format!("{initial}.");
+        toks.join(" ")
+    } else {
+        s.to_string()
+    }
+}
+
+fn case_and_punct(s: &str, rng: &mut SmallRng) -> String {
+    let mut out = match rng.gen_range(0..3) {
+        0 => s.to_lowercase(),
+        1 => s.to_uppercase(),
+        _ => s.to_string(),
+    };
+    match rng.gen_range(0..3) {
+        0 => out.push('.'),
+        1 => out = out.replace(' ', ", ").replacen(", ", " ", 1),
+        _ => out = format!("\"{out}\""),
+    }
+    out
+}
+
+fn swap_tokens(s: &str, rng: &mut SmallRng) -> String {
+    let mut toks = tokens_of(s);
+    if toks.len() < 2 {
+        return s.to_string();
+    }
+    let i = rng.gen_range(0..toks.len() - 1);
+    toks.swap(i, i + 1);
+    toks.join(" ")
+}
+
+fn whitespace_noise(s: &str, rng: &mut SmallRng) -> String {
+    let toks = tokens_of(s);
+    if toks.len() < 2 {
+        return format!(" {s} ");
+    }
+    let sep = if rng.gen_bool(0.5) { "  " } else { " - " };
+    let i = rng.gen_range(1..toks.len());
+    let mut out = toks[..i].join(" ");
+    out.push_str(sep);
+    out.push_str(&toks[i..].join(" "));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn every_perturbation_changes_typical_strings() {
+        let mut rng = rng();
+        let s = "2007 Wisconsin Badgers football team";
+        for p in [
+            Perturbation::Typo,
+            Perturbation::ExtraToken,
+            Perturbation::DropToken,
+            Perturbation::RenameSuffix,
+            Perturbation::Abbreviate,
+            Perturbation::CaseAndPunct,
+            Perturbation::SwapTokens,
+            Perturbation::Whitespace,
+        ] {
+            let out = p.apply(s, &mut rng);
+            assert_ne!(out, s, "{p:?} did not change the string");
+            assert!(!out.trim().is_empty());
+        }
+    }
+
+    #[test]
+    fn mix_perturb_never_returns_the_input() {
+        let mut rng = rng();
+        let mix = PerturbationMix::balanced();
+        for s in ["Rana viridis", "X", "Grand Salem Stadium", "2008 election"] {
+            for _ in 0..20 {
+                let out = mix.perturb(s, &mut rng);
+                assert_ne!(out, s);
+            }
+        }
+    }
+
+    #[test]
+    fn typo_preserves_digits() {
+        let mut rng = rng();
+        for _ in 0..50 {
+            let out = typo("2007 Tigers", &mut rng);
+            assert!(out.contains("2007"), "year was corrupted: {out}");
+        }
+    }
+
+    #[test]
+    fn rename_suffix_swaps_kind_words() {
+        let mut rng = rng();
+        let out = rename_suffix("2007 LSU Tigers football team", &mut rng);
+        assert!(out.ends_with("season"), "got {out}");
+    }
+
+    #[test]
+    fn drop_token_keeps_leading_token() {
+        let mut rng = rng();
+        for _ in 0..20 {
+            let out = drop_token("2007 LSU Tigers football team", &mut rng);
+            assert!(out.starts_with("2007"));
+        }
+    }
+
+    #[test]
+    fn mixes_are_deterministic_given_seed() {
+        let mix = PerturbationMix::balanced();
+        let mut r1 = SmallRng::seed_from_u64(7);
+        let mut r2 = SmallRng::seed_from_u64(7);
+        let a: Vec<String> = (0..10).map(|_| mix.perturb("Grand Hotel Salem", &mut r1)).collect();
+        let b: Vec<String> = (0..10).map(|_| mix.perturb("Grand Hotel Salem", &mut r2)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be empty")]
+    fn empty_mix_panics() {
+        let _ = PerturbationMix::new(vec![], 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Benchmark task containers.
+
+use autofj_core::Table;
+use serde::{Deserialize, Serialize};
+
+/// A single-column fuzzy-join task: a reference table `L`, a query table `R`
+/// and ground truth (`ground_truth[r]` = index into `left` or `None`).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SingleColumnTask {
+    /// Task name (mirrors the entity-type names of the paper's Table 2).
+    pub name: String,
+    /// Reference table values.
+    pub left: Vec<String>,
+    /// Query table values.
+    pub right: Vec<String>,
+    /// Ground-truth mapping `R → L ∪ ⊥`.
+    pub ground_truth: Vec<Option<usize>>,
+}
+
+impl SingleColumnTask {
+    /// Number of ground-truth matches.
+    pub fn num_matches(&self) -> usize {
+        self.ground_truth.iter().flatten().count()
+    }
+
+    /// Sanity-check internal consistency (sizes line up, ground-truth indices
+    /// are in range, the reference table has no exact duplicates).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.right.len() != self.ground_truth.len() {
+            return Err(format!(
+                "{}: right has {} rows but ground truth has {}",
+                self.name,
+                self.right.len(),
+                self.ground_truth.len()
+            ));
+        }
+        for (r, gt) in self.ground_truth.iter().enumerate() {
+            if let Some(l) = gt {
+                if *l >= self.left.len() {
+                    return Err(format!(
+                        "{}: ground truth of right {r} points to missing left {l}",
+                        self.name
+                    ));
+                }
+            }
+        }
+        let mut seen = std::collections::HashSet::new();
+        for l in &self.left {
+            if !seen.insert(l) {
+                return Err(format!("{}: duplicate reference record {l:?}", self.name));
+            }
+        }
+        Ok(())
+    }
+
+    /// Convert to `Table`s for the `AutoFuzzyJoin` API.
+    pub fn tables(&self) -> (Table, Table) {
+        (
+            Table::from_strings(&format!("{}-L", self.name), self.left.clone()),
+            Table::from_strings(&format!("{}-R", self.name), self.right.clone()),
+        )
+    }
+}
+
+/// A multi-column fuzzy-join task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MultiColumnTask {
+    /// Task name (mirrors the dataset codes of the paper's Table 3).
+    pub name: String,
+    /// Domain description, e.g. "Restaurant".
+    pub domain: String,
+    /// Reference table.
+    pub left: Table,
+    /// Query table.
+    pub right: Table,
+    /// Ground-truth mapping `R → L ∪ ⊥`.
+    pub ground_truth: Vec<Option<usize>>,
+    /// The names of the columns that are genuinely informative (used in tests
+    /// to check column selection; not visible to the algorithms).
+    pub informative_columns: Vec<String>,
+}
+
+impl MultiColumnTask {
+    /// Number of ground-truth matches.
+    pub fn num_matches(&self) -> usize {
+        self.ground_truth.iter().flatten().count()
+    }
+
+    /// Sanity-check internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.right.len() != self.ground_truth.len() {
+            return Err(format!(
+                "{}: right has {} rows but ground truth has {}",
+                self.name,
+                self.right.len(),
+                self.ground_truth.len()
+            ));
+        }
+        if self.left.num_columns() != self.right.num_columns() {
+            return Err(format!("{}: column count mismatch", self.name));
+        }
+        for gt in self.ground_truth.iter().flatten() {
+            if *gt >= self.left.len() {
+                return Err(format!("{}: ground truth out of range", self.name));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_catches_bad_ground_truth() {
+        let t = SingleColumnTask {
+            name: "t".into(),
+            left: vec!["a".into()],
+            right: vec!["b".into()],
+            ground_truth: vec![Some(3)],
+        };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_catches_duplicate_reference_records() {
+        let t = SingleColumnTask {
+            name: "t".into(),
+            left: vec!["a".into(), "a".into()],
+            right: vec![],
+            ground_truth: vec![],
+        };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn tables_round_trip() {
+        let t = SingleColumnTask {
+            name: "t".into(),
+            left: vec!["a".into()],
+            right: vec!["b".into()],
+            ground_truth: vec![None],
+        };
+        let (l, r) = t.tables();
+        assert_eq!(l.len(), 1);
+        assert_eq!(r.len(), 1);
+        assert!(t.validate().is_ok());
+        assert_eq!(t.num_matches(), 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Word pools used by the synthetic benchmark generators.
+//!
+//! The pools are small but diverse enough to produce reference tables whose
+//! near-neighbour structure resembles the DBPedia entity-name tables of the
+//! paper: many records share a template and differ in one or two slots
+//! (years, sports, places, qualifiers), which is exactly the structure the
+//! precision estimator and negative-rule learner exploit.
+
+/// US/College team mascots.
+pub const MASCOTS: &[&str] = &[
+    "Tigers", "Badgers", "Bulldogs", "Crimson Tide", "Ducks", "Wolverines", "Buckeyes",
+    "Longhorns", "Sooners", "Gators", "Seminoles", "Trojans", "Bruins", "Spartans", "Huskies",
+    "Wildcats", "Cougars", "Aggies", "Rebels", "Commodores", "Gamecocks", "Razorbacks",
+    "Volunteers", "Jayhawks", "Cyclones", "Hoosiers", "Boilermakers", "Cornhuskers",
+];
+
+/// US state / university place names.
+pub const PLACES: &[&str] = &[
+    "Alabama", "Wisconsin", "Mississippi", "Oregon", "Michigan", "Ohio", "Texas", "Oklahoma",
+    "Florida", "Georgia", "California", "Washington", "Kansas", "Iowa", "Indiana", "Nebraska",
+    "Kentucky", "Tennessee", "Arkansas", "Virginia", "Missouri", "Arizona", "Colorado",
+    "Minnesota", "Illinois", "Louisiana", "Carolina", "Utah", "Nevada", "Idaho",
+];
+
+/// Sports.
+pub const SPORTS: &[&str] = &[
+    "football", "baseball", "basketball", "soccer", "volleyball", "softball", "lacrosse",
+    "hockey", "swimming", "wrestling",
+];
+
+/// Common first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda", "William",
+    "Elizabeth", "David", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah",
+    "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony",
+    "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul", "Emily",
+    "Andrew", "Donna", "Joshua", "Michelle",
+];
+
+/// Common last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores",
+];
+
+/// City names (world-wide).
+pub const CITIES: &[&str] = &[
+    "Springfield", "Riverside", "Fairview", "Georgetown", "Salem", "Madison", "Arlington",
+    "Ashland", "Dover", "Oxford", "Burlington", "Manchester", "Clinton", "Milton", "Newport",
+    "Auburn", "Bristol", "Dayton", "Florence", "Greenville", "Kingston", "Lancaster",
+    "Lexington", "Marion", "Milford", "Princeton", "Richmond", "Trenton", "Vienna", "Winchester",
+];
+
+/// Country-ish names (invented mixes to keep the table synthetic but
+/// plausible).
+pub const REGIONS: &[&str] = &[
+    "Northern", "Southern", "Eastern", "Western", "Central", "Upper", "Lower", "Greater", "New",
+    "Old",
+];
+
+/// Organization kind words.
+pub const ORG_KINDS: &[&str] = &[
+    "Agency", "Authority", "Bureau", "Commission", "Council", "Department", "Institute",
+    "Ministry", "Office", "Service", "Board", "Administration", "Foundation", "Association",
+    "Federation", "Union", "Society", "Committee",
+];
+
+/// Facility kind words.
+pub const FACILITY_KINDS: &[&str] = &[
+    "Stadium", "Arena", "Hospital", "Museum", "Library", "Theatre", "Gallery", "Observatory",
+    "Cathedral", "Palace", "Castle", "Bridge", "Tower", "Hall", "Center", "Park", "Garden",
+    "Airport", "Station", "Mall",
+];
+
+/// Adjectives used in facility / building names.
+pub const GRAND_ADJECTIVES: &[&str] = &[
+    "Grand", "Royal", "National", "Memorial", "Metropolitan", "Imperial", "Saint", "Golden",
+    "Silver", "Liberty", "Victory", "Union", "Olympic", "Pacific", "Atlantic", "Highland",
+];
+
+/// Pharmaceutical-style syllables used for drug / enzyme names.
+pub const DRUG_SYLLABLES: &[&str] = &[
+    "zol", "pra", "mex", "tin", "lor", "vas", "cet", "dol", "fen", "gly", "hex", "ibu", "ket",
+    "lan", "mor", "nex", "oxa", "pen", "qui", "rif", "ser", "tra", "ur", "vir", "xan", "yl",
+    "zet", "amo", "bro", "cor",
+];
+
+/// Music / artwork style words.
+pub const ART_WORDS: &[&str] = &[
+    "Sonata", "Symphony", "Portrait", "Landscape", "Nocturne", "Prelude", "Rhapsody", "Etude",
+    "Ballad", "Overture", "Fantasy", "Serenade", "Requiem", "Concerto", "Madonna", "Still Life",
+    "Composition", "Study", "Impression", "Allegory",
+];
+
+/// Genre words for songs, magazines, television.
+pub const GENRES: &[&str] = &[
+    "Rock", "Jazz", "Blues", "Country", "Electronic", "Classical", "Folk", "Reggae", "Soul",
+    "Punk", "Metal", "Gospel", "Disco", "Ambient", "House",
+];
+
+/// Species epithet-like latin-ish words.
+pub const SPECIES_EPITHETS: &[&str] = &[
+    "viridis", "alpina", "maculata", "gigantea", "minor", "major", "orientalis", "occidentalis",
+    "vulgaris", "rubra", "alba", "nigra", "montana", "palustris", "sylvatica", "aquatica",
+    "borealis", "australis", "punctata", "striata",
+];
+
+/// Genus-like words.
+pub const GENERA: &[&str] = &[
+    "Rana", "Bufo", "Hyla", "Ambystoma", "Triturus", "Salamandra", "Lacerta", "Natrix", "Vipera",
+    "Anolis", "Gekko", "Python", "Boa", "Chelonia", "Testudo", "Crotalus", "Elaphe", "Agama",
+    "Varanus", "Iguana",
+];
+
+/// League / competition words.
+pub const LEAGUE_WORDS: &[&str] = &[
+    "Premier League", "Championship", "First Division", "Second Division", "Super League",
+    "National League", "Regional League", "Cup", "Trophy", "Open", "Masters", "Classic",
+    "Invitational", "Grand Prix", "Series",
+];
+
+/// Company-ish suffixes for products / brands.
+pub const BRAND_SUFFIXES: &[&str] = &[
+    "Works", "Labs", "Industries", "Systems", "Dynamics", "Goods", "Supply", "Outfitters",
+    "Collective", "Partners", "Holdings", "Group", "Studio", "Makers", "Corporation",
+];
+
+/// Product nouns.
+pub const PRODUCT_NOUNS: &[&str] = &[
+    "Blender", "Speaker", "Headphones", "Monitor", "Keyboard", "Stroller", "Crib", "Bottle",
+    "Carrier", "Backpack", "Lantern", "Tent", "Grill", "Kettle", "Camera", "Printer", "Router",
+    "Charger", "Vacuum", "Toaster",
+];
+
+/// Colors (used for products).
+pub const COLORS: &[&str] = &[
+    "Black", "White", "Silver", "Red", "Blue", "Green", "Gray", "Navy", "Teal", "Purple",
+];
+
+/// Roman numerals 1..=30 (used for Super-Bowl-like event names).
+pub const ROMAN: &[&str] = &[
+    "I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X", "XI", "XII", "XIII", "XIV",
+    "XV", "XVI", "XVII", "XVIII", "XIX", "XX", "XXI", "XXII", "XXIII", "XXIV", "XXV", "XXVI",
+    "XXVII", "XXVIII", "XXIX", "XXX",
+];
+
+/// Street-type words for addresses.
+pub const STREET_TYPES: &[&str] = &["St", "Ave", "Blvd", "Rd", "Lane", "Drive", "Way", "Court"];
+
+/// Cuisine types for restaurants.
+pub const CUISINES: &[&str] = &[
+    "Italian", "French", "Thai", "Mexican", "Japanese", "Indian", "Greek", "Spanish", "Korean",
+    "Vietnamese", "American", "Ethiopian",
+];
+
+/// Venue words for citations.
+pub const VENUES: &[&str] = &[
+    "SIGMOD", "VLDB", "ICDE", "KDD", "WWW", "NeurIPS", "ICML", "ACL", "CVPR", "SOSP", "OSDI",
+    "CIDR",
+];
+
+/// Research topic words for citation titles.
+pub const TOPICS: &[&str] = &[
+    "Similarity Joins", "Entity Resolution", "Query Optimization", "Data Cleaning",
+    "Schema Matching", "Approximate Search", "Stream Processing", "Graph Mining",
+    "Transaction Processing", "Index Structures", "Data Integration", "Crowdsourcing",
+    "Differential Privacy", "Federated Learning", "Knowledge Graphs", "Text Mining",
+];
+
+/// Qualifier words appended to entity names (extraneous info in R).
+pub const QUALIFIERS: &[&str] = &[
+    "(official)", "(new)", "(archive)", "[draft]", "Ltd", "Inc", "USA", "UK", "edition",
+    "volume", "series", "the", "of the", "online",
+];
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pools_are_nonempty_and_reasonably_sized() {
+        for (name, pool) in [
+            ("MASCOTS", super::MASCOTS),
+            ("PLACES", super::PLACES),
+            ("SPORTS", super::SPORTS),
+            ("FIRST_NAMES", super::FIRST_NAMES),
+            ("LAST_NAMES", super::LAST_NAMES),
+            ("CITIES", super::CITIES),
+            ("ORG_KINDS", super::ORG_KINDS),
+            ("FACILITY_KINDS", super::FACILITY_KINDS),
+            ("ROMAN", super::ROMAN),
+        ] {
+            assert!(pool.len() >= 8, "{name} is too small");
+        }
+    }
+
+    #[test]
+    fn pools_have_no_duplicates() {
+        for pool in [super::MASCOTS, super::PLACES, super::LAST_NAMES, super::ROMAN] {
+            let set: std::collections::HashSet<_> = pool.iter().collect();
+            assert_eq!(set.len(), pool.len());
+        }
+    }
+}

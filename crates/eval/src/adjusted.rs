@@ -1,0 +1,175 @@
+//! Adjusted recall (AR) — the comparison protocol of §5.1.2.
+//!
+//! AutoFJ outputs a join directly; score-based baselines output a similarity
+//! score per candidate pair and leave thresholding to the user.  To compare
+//! them at a fixed precision level, the paper sweeps the baseline's score
+//! threshold and reports the recall at the threshold whose precision is
+//! *closest to but not greater than* AutoFJ's precision (a protocol that
+//! favours the baseline).
+
+use crate::ScoredPrediction;
+use serde::{Deserialize, Serialize};
+
+/// The outcome of the adjusted-recall sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdjustedRecall {
+    /// Precision at the chosen threshold.
+    pub precision: f64,
+    /// Absolute recall (number of correct joins) at the chosen threshold.
+    pub recall_absolute: f64,
+    /// Relative recall at the chosen threshold.
+    pub recall_relative: f64,
+    /// The chosen score threshold (pairs with score ≥ threshold are joined).
+    pub threshold: f64,
+}
+
+/// Sweep the score threshold of `predictions` and return the recall at the
+/// precision level closest to (but not greater than) `target_precision`.
+///
+/// If every threshold yields precision above the target, the lowest-precision
+/// point is returned (joining everything); if `predictions` is empty the
+/// result has recall 0 and precision 1.
+pub fn adjusted_recall(
+    predictions: &[ScoredPrediction],
+    ground_truth: &[Option<usize>],
+    target_precision: f64,
+) -> AdjustedRecall {
+    let num_gt = ground_truth.iter().flatten().count().max(1);
+    if predictions.is_empty() {
+        return AdjustedRecall {
+            precision: 1.0,
+            recall_absolute: 0.0,
+            recall_relative: 0.0,
+            threshold: f64::INFINITY,
+        };
+    }
+    // Keep at most one prediction per right record: the highest-scored one.
+    let mut best_per_right: std::collections::HashMap<usize, ScoredPrediction> =
+        std::collections::HashMap::new();
+    for p in predictions {
+        best_per_right
+            .entry(p.right)
+            .and_modify(|cur| {
+                if p.score > cur.score {
+                    *cur = *p;
+                }
+            })
+            .or_insert(*p);
+    }
+    let mut sorted: Vec<ScoredPrediction> = best_per_right.into_values().collect();
+    sorted.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.right.cmp(&b.right))
+    });
+
+    // Walk down the ranking, recording (precision, recall) at every distinct
+    // score cut.
+    let mut correct = 0usize;
+    let mut predicted = 0usize;
+    let mut best_at_or_below: Option<AdjustedRecall> = None;
+    let mut fallback: Option<AdjustedRecall> = None;
+    let mut i = 0;
+    while i < sorted.len() {
+        let score = sorted[i].score;
+        // Include all pairs tied at this score.
+        while i < sorted.len() && sorted[i].score == score {
+            predicted += 1;
+            if ground_truth[sorted[i].right] == Some(sorted[i].left) {
+                correct += 1;
+            }
+            i += 1;
+        }
+        let precision = correct as f64 / predicted as f64;
+        let point = AdjustedRecall {
+            precision,
+            recall_absolute: correct as f64,
+            recall_relative: correct as f64 / num_gt as f64,
+            threshold: score,
+        };
+        // Track the highest-recall point whose precision does not exceed the
+        // target ("closest to but not greater than": since recall grows as
+        // precision drops along the sweep, the first/best such point is the
+        // one with precision closest to the target from below).
+        if precision <= target_precision {
+            let replace = match &best_at_or_below {
+                None => true,
+                Some(b) => {
+                    precision > b.precision
+                        || (precision == b.precision && point.recall_absolute > b.recall_absolute)
+                }
+            };
+            if replace {
+                best_at_or_below = Some(point);
+            }
+        }
+        fallback = Some(point);
+    }
+    best_at_or_below.or(fallback).unwrap_or(AdjustedRecall {
+        precision: 1.0,
+        recall_absolute: 0.0,
+        recall_relative: 0.0,
+        threshold: f64::INFINITY,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(right: usize, left: usize, score: f64) -> ScoredPrediction {
+        ScoredPrediction { right, left, score }
+    }
+
+    #[test]
+    fn picks_threshold_closest_below_target() {
+        // gt: r0->l0, r1->l1, r2->l2, r3 has no match
+        let gt = vec![Some(0), Some(1), Some(2), None];
+        let preds = vec![
+            p(0, 0, 0.9), // correct
+            p(1, 1, 0.8), // correct
+            p(3, 5, 0.7), // wrong (spurious)
+            p(2, 2, 0.6), // correct
+        ];
+        // Sweep: after 1 pair P=1.0, after 2 P=1.0, after 3 P=0.667, after 4 P=0.75.
+        let ar = adjusted_recall(&preds, &gt, 0.9);
+        // The best precision ≤ 0.9 is 0.75 (threshold 0.6) with recall 3.
+        assert!((ar.precision - 0.75).abs() < 1e-12);
+        assert_eq!(ar.recall_absolute, 3.0);
+    }
+
+    #[test]
+    fn all_correct_predictions_fall_back_to_lowest_point() {
+        let gt = vec![Some(0), Some(1)];
+        let preds = vec![p(0, 0, 0.9), p(1, 1, 0.5)];
+        let ar = adjusted_recall(&preds, &gt, 0.8);
+        // Precision is always 1.0 > 0.8, so fall back to joining everything.
+        assert_eq!(ar.precision, 1.0);
+        assert_eq!(ar.recall_absolute, 2.0);
+    }
+
+    #[test]
+    fn empty_predictions_give_zero_recall() {
+        let gt = vec![Some(0)];
+        let ar = adjusted_recall(&[], &gt, 0.9);
+        assert_eq!(ar.recall_absolute, 0.0);
+        assert_eq!(ar.precision, 1.0);
+    }
+
+    #[test]
+    fn keeps_best_scored_prediction_per_right_record() {
+        let gt = vec![Some(0)];
+        let preds = vec![p(0, 3, 0.4), p(0, 0, 0.9)];
+        let ar = adjusted_recall(&preds, &gt, 1.0);
+        assert_eq!(ar.recall_absolute, 1.0);
+    }
+
+    #[test]
+    fn recall_relative_uses_ground_truth_size() {
+        let gt = vec![Some(0), Some(1), Some(2), Some(3)];
+        let preds = vec![p(0, 0, 0.9), p(1, 9, 0.8)];
+        let ar = adjusted_recall(&preds, &gt, 0.5);
+        assert!((ar.recall_relative - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,39 @@
+//! # autofj-eval
+//!
+//! Evaluation machinery for fuzzy joins, following §5.1.2 of the
+//! Auto-FuzzyJoin paper:
+//!
+//! * [`metrics`] — precision (Eq. 3) and recall (Eq. 4, *absolute* count of
+//!   correct joins, with the relative variant alongside for readability).
+//! * [`adjusted`] — the *adjusted recall* protocol: for a baseline that emits
+//!   similarity scores, find the score threshold whose precision is "closest
+//!   to but not greater than" a target precision and report the recall there.
+//! * [`pr_curve`] — precision–recall curves and PR-AUC.
+//! * [`ubr`] — the Upper Bound of Recall: the fraction of ground-truth pairs
+//!   that *any* configuration in the search space could produce as a
+//!   nearest-neighbour match.
+//!
+//! Ground truth is represented throughout as `&[Option<usize>]`: for every
+//! right record, the index of its true left counterpart or `None` (⊥).
+
+pub mod adjusted;
+pub mod metrics;
+pub mod pr_curve;
+pub mod ubr;
+
+pub use adjusted::{adjusted_recall, AdjustedRecall};
+pub use metrics::{evaluate_assignment, evaluate_pairs, QualityReport};
+pub use pr_curve::{pr_auc, pr_curve, PrPoint};
+pub use ubr::upper_bound_recall;
+
+/// A prediction with a similarity score (higher means more likely a match),
+/// as produced by score-based baselines.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScoredPrediction {
+    /// Right record index.
+    pub right: usize,
+    /// Predicted left record index.
+    pub left: usize,
+    /// Similarity score (higher = more confident match).
+    pub score: f64,
+}

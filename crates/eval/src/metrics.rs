@@ -1,0 +1,153 @@
+//! Precision / recall of a fuzzy-join assignment (Eq. 3 and 4).
+
+use serde::{Deserialize, Serialize};
+
+/// Quality of a join output against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityReport {
+    /// Number of right records the method joined to some left record.
+    pub num_predicted: usize,
+    /// Number of predicted joins that match the ground truth.
+    pub num_correct: usize,
+    /// Total number of right records that have a ground-truth match.
+    pub num_ground_truth: usize,
+    /// Precision (Eq. 3): correct / predicted (1.0 when nothing predicted).
+    pub precision: f64,
+    /// Absolute recall (Eq. 4): the *number* of correct joins.
+    pub recall_absolute: f64,
+    /// Relative recall: correct / total ground-truth matches (0 when the
+    /// ground truth is empty).
+    pub recall_relative: f64,
+    /// F1 over precision and relative recall.
+    pub f1: f64,
+}
+
+impl QualityReport {
+    fn from_counts(num_predicted: usize, num_correct: usize, num_ground_truth: usize) -> Self {
+        let precision = if num_predicted == 0 {
+            1.0
+        } else {
+            num_correct as f64 / num_predicted as f64
+        };
+        let recall_relative = if num_ground_truth == 0 {
+            0.0
+        } else {
+            num_correct as f64 / num_ground_truth as f64
+        };
+        let f1 = if precision + recall_relative == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall_relative / (precision + recall_relative)
+        };
+        Self {
+            num_predicted,
+            num_correct,
+            num_ground_truth,
+            precision,
+            recall_absolute: num_correct as f64,
+            recall_relative,
+            f1,
+        }
+    }
+}
+
+/// Evaluate a per-right-record assignment (`assignment[r]` = predicted left or
+/// `None`) against the ground truth in the same format.
+pub fn evaluate_assignment(
+    assignment: &[Option<usize>],
+    ground_truth: &[Option<usize>],
+) -> QualityReport {
+    assert_eq!(
+        assignment.len(),
+        ground_truth.len(),
+        "assignment and ground truth must cover the same right records"
+    );
+    let num_ground_truth = ground_truth.iter().flatten().count();
+    let mut num_predicted = 0;
+    let mut num_correct = 0;
+    for (pred, truth) in assignment.iter().zip(ground_truth) {
+        if let Some(p) = pred {
+            num_predicted += 1;
+            if Some(*p) == *truth {
+                num_correct += 1;
+            }
+        }
+    }
+    QualityReport::from_counts(num_predicted, num_correct, num_ground_truth)
+}
+
+/// Evaluate a list of predicted `(right, left)` pairs against ground truth
+/// over `num_right` right records.  At most one prediction per right record is
+/// counted (the first one encountered), matching the many-to-one semantics of
+/// Definition 2.1.
+pub fn evaluate_pairs(
+    pairs: &[(usize, usize)],
+    ground_truth: &[Option<usize>],
+) -> QualityReport {
+    let mut assignment: Vec<Option<usize>> = vec![None; ground_truth.len()];
+    for &(r, l) in pairs {
+        if assignment[r].is_none() {
+            assignment[r] = Some(l);
+        }
+    }
+    evaluate_assignment(&assignment, ground_truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction_scores_one() {
+        let gt = vec![Some(0), Some(1), None];
+        let pred = vec![Some(0), Some(1), None];
+        let q = evaluate_assignment(&pred, &gt);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall_absolute, 2.0);
+        assert_eq!(q.recall_relative, 1.0);
+        assert_eq!(q.f1, 1.0);
+    }
+
+    #[test]
+    fn wrong_and_spurious_predictions_lower_precision() {
+        let gt = vec![Some(0), Some(1), None, Some(3)];
+        let pred = vec![Some(0), Some(2), Some(5), None];
+        let q = evaluate_assignment(&pred, &gt);
+        assert_eq!(q.num_predicted, 3);
+        assert_eq!(q.num_correct, 1);
+        assert!((q.precision - 1.0 / 3.0).abs() < 1e-12);
+        assert!((q.recall_relative - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_prediction_has_unit_precision_zero_recall() {
+        let gt = vec![Some(0), Some(1)];
+        let pred = vec![None, None];
+        let q = evaluate_assignment(&pred, &gt);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall_absolute, 0.0);
+        assert_eq!(q.f1, 0.0);
+    }
+
+    #[test]
+    fn evaluate_pairs_takes_first_prediction_per_right() {
+        let gt = vec![Some(7), Some(1)];
+        let pairs = vec![(0, 7), (0, 3), (1, 2)];
+        let q = evaluate_pairs(&pairs, &gt);
+        assert_eq!(q.num_predicted, 2);
+        assert_eq!(q.num_correct, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same right records")]
+    fn mismatched_lengths_panic() {
+        evaluate_assignment(&[None], &[None, None]);
+    }
+
+    #[test]
+    fn empty_ground_truth_gives_zero_relative_recall() {
+        let q = evaluate_assignment(&[Some(1)], &[None]);
+        assert_eq!(q.recall_relative, 0.0);
+        assert_eq!(q.precision, 0.0);
+    }
+}

@@ -1,0 +1,150 @@
+//! Precision–recall curves and PR-AUC (Table 5 / Table 7 of the paper).
+
+use crate::ScoredPrediction;
+use serde::{Deserialize, Serialize};
+
+/// One point of a precision–recall curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PrPoint {
+    /// Relative recall at this score threshold.
+    pub recall: f64,
+    /// Precision at this score threshold.
+    pub precision: f64,
+    /// The score threshold.
+    pub threshold: f64,
+}
+
+/// Compute the precision–recall curve of score-ranked predictions.
+/// Predictions are reduced to the best-scored one per right record, then the
+/// threshold is swept from the highest score downwards.
+pub fn pr_curve(
+    predictions: &[ScoredPrediction],
+    ground_truth: &[Option<usize>],
+) -> Vec<PrPoint> {
+    let num_gt = ground_truth.iter().flatten().count();
+    if num_gt == 0 || predictions.is_empty() {
+        return Vec::new();
+    }
+    let mut best_per_right: std::collections::HashMap<usize, ScoredPrediction> =
+        std::collections::HashMap::new();
+    for p in predictions {
+        best_per_right
+            .entry(p.right)
+            .and_modify(|cur| {
+                if p.score > cur.score {
+                    *cur = *p;
+                }
+            })
+            .or_insert(*p);
+    }
+    let mut sorted: Vec<ScoredPrediction> = best_per_right.into_values().collect();
+    sorted.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.right.cmp(&b.right))
+    });
+    let mut out = Vec::new();
+    let mut correct = 0usize;
+    let mut predicted = 0usize;
+    let mut i = 0;
+    while i < sorted.len() {
+        let score = sorted[i].score;
+        while i < sorted.len() && sorted[i].score == score {
+            predicted += 1;
+            if ground_truth[sorted[i].right] == Some(sorted[i].left) {
+                correct += 1;
+            }
+            i += 1;
+        }
+        out.push(PrPoint {
+            recall: correct as f64 / num_gt as f64,
+            precision: correct as f64 / predicted as f64,
+            threshold: score,
+        });
+    }
+    out
+}
+
+/// Area under the precision–recall curve, computed by step-wise (right
+/// Riemann) integration over recall, which is the standard conservative
+/// estimate.  Returns 0 when the curve is empty.
+pub fn pr_auc(predictions: &[ScoredPrediction], ground_truth: &[Option<usize>]) -> f64 {
+    let curve = pr_curve(predictions, ground_truth);
+    let mut auc = 0.0;
+    let mut prev_recall = 0.0;
+    for pt in &curve {
+        let dr = pt.recall - prev_recall;
+        if dr > 0.0 {
+            auc += dr * pt.precision;
+            prev_recall = pt.recall;
+        }
+    }
+    auc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(right: usize, left: usize, score: f64) -> ScoredPrediction {
+        ScoredPrediction { right, left, score }
+    }
+
+    #[test]
+    fn perfect_ranking_has_auc_close_to_one() {
+        let gt = vec![Some(0), Some(1), Some(2), None];
+        let preds = vec![p(0, 0, 0.9), p(1, 1, 0.8), p(2, 2, 0.7), p(3, 1, 0.1)];
+        let auc = pr_auc(&preds, &gt);
+        assert!(auc > 0.99, "auc = {auc}");
+    }
+
+    #[test]
+    fn all_wrong_predictions_have_zero_auc() {
+        let gt = vec![Some(0), Some(1)];
+        let preds = vec![p(0, 1, 0.9), p(1, 0, 0.8)];
+        assert_eq!(pr_auc(&preds, &gt), 0.0);
+    }
+
+    #[test]
+    fn auc_is_in_unit_interval() {
+        let gt = vec![Some(0), Some(1), Some(2), Some(3)];
+        let preds = vec![
+            p(0, 0, 0.9),
+            p(1, 5, 0.85),
+            p(2, 2, 0.8),
+            p(3, 7, 0.75),
+        ];
+        let auc = pr_auc(&preds, &gt);
+        assert!((0.0..=1.0).contains(&auc));
+    }
+
+    #[test]
+    fn curve_recall_is_monotone_nondecreasing() {
+        let gt = vec![Some(0), Some(1), Some(2), Some(3), None];
+        let preds = vec![
+            p(0, 0, 0.9),
+            p(1, 1, 0.7),
+            p(2, 9, 0.6),
+            p(3, 3, 0.5),
+            p(4, 2, 0.4),
+        ];
+        let curve = pr_curve(&preds, &gt);
+        assert!(curve.windows(2).all(|w| w[1].recall >= w[0].recall));
+    }
+
+    #[test]
+    fn empty_inputs_yield_empty_curve_and_zero_auc() {
+        assert!(pr_curve(&[], &[Some(0)]).is_empty());
+        assert_eq!(pr_auc(&[], &[Some(0)]), 0.0);
+        assert_eq!(pr_auc(&[p(0, 0, 1.0)], &[None]), 0.0);
+    }
+
+    #[test]
+    fn better_ranking_has_higher_auc() {
+        let gt = vec![Some(0), Some(1), Some(2), Some(3)];
+        let good = vec![p(0, 0, 0.9), p(1, 1, 0.8), p(2, 9, 0.2), p(3, 9, 0.1)];
+        let bad = vec![p(0, 0, 0.2), p(1, 1, 0.1), p(2, 9, 0.9), p(3, 9, 0.8)];
+        assert!(pr_auc(&good, &gt) > pr_auc(&bad, &gt));
+    }
+}

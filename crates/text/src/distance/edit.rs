@@ -1,0 +1,98 @@
+//! Levenshtein (edit) distance, raw and normalized.
+
+/// Raw Levenshtein distance between two strings, counted in Unicode scalar
+/// values (insertions, deletions, substitutions all cost 1).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    levenshtein_chars(&a, &b)
+}
+
+/// Levenshtein distance over pre-collected character slices.
+pub fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // Single-row dynamic program; keep the shorter string in the inner loop
+    // to minimize memory.
+    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut prev: Vec<usize> = (0..=short.len()).collect();
+    let mut curr: Vec<usize> = vec![0; short.len() + 1];
+    for (i, &lc) in long.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &sc) in short.iter().enumerate() {
+            let cost = usize::from(lc != sc);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[short.len()]
+}
+
+/// Normalized edit distance: `levenshtein(a, b) / max(|a|, |b|)`, in `[0, 1]`.
+/// Two empty strings have distance 0.
+pub fn normalized_edit_distance(a: &str, b: &str) -> f64 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    normalized_edit_distance_chars(&ac, &bc)
+}
+
+/// Normalized edit distance over pre-collected character slices.
+pub fn normalized_edit_distance_chars(a: &[char], b: &[char]) -> f64 {
+    let max_len = a.len().max(b.len());
+    if max_len == 0 {
+        return 0.0;
+    }
+    levenshtein_chars(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_have_zero_distance() {
+        assert_eq!(levenshtein("kitten", "kitten"), 0);
+        assert_eq!(normalized_edit_distance("kitten", "kitten"), 0.0);
+    }
+
+    #[test]
+    fn classic_kitten_sitting_is_three() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_length() {
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(normalized_edit_distance("", ""), 0.0);
+        assert_eq!(normalized_edit_distance("", "ab"), 1.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        assert_eq!(levenshtein("flaw", "lawn"), levenshtein("lawn", "flaw"));
+    }
+
+    #[test]
+    fn unicode_counts_scalar_values() {
+        assert_eq!(levenshtein("café", "cafe"), 1);
+    }
+
+    #[test]
+    fn normalized_stays_in_unit_interval() {
+        let d = normalized_edit_distance("completely", "different!");
+        assert!((0.0..=1.0).contains(&d));
+    }
+
+    #[test]
+    fn single_typo_has_small_normalized_distance() {
+        // "Missisippi" vs "Mississippi" — the paper's Figure 3(a) motivation
+        // for edit distance.
+        let d = normalized_edit_distance("missisippi bulldog", "mississippi bulldogs");
+        assert!(d < 0.15, "expected a small distance, got {d}");
+    }
+}

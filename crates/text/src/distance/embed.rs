@@ -1,0 +1,158 @@
+//! Embedding distance (`GED`).
+//!
+//! The paper uses spaCy's `en_core_web_lg` GloVe vectors and compares
+//! document (mean token) embeddings.  Shipping a 700 MB pre-trained model is
+//! neither possible offline nor necessary for reproducing the algorithmic
+//! behaviour — GED is simply one of 140 black-box join functions.  We
+//! substitute a **deterministic feature-hashed token embedding**: every token
+//! is mapped to a unit vector in `R^{DIM}` whose coordinates are derived from
+//! hashes of the token's character 3-grams, so that typographically similar
+//! tokens land close together and unrelated tokens are near-orthogonal in
+//! expectation.  Document embeddings are token-weight averages, and the
+//! distance is the cosine distance of document embeddings.  This substitution
+//! is recorded in `DESIGN.md`.
+
+/// Dimensionality of the hashed embedding space.
+pub const DIM: usize = 64;
+
+/// A dense document embedding.
+pub type Embedding = [f32; DIM];
+
+/// FNV-1a 64-bit hash, used to derive deterministic pseudo-random coordinates.
+fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    hash
+}
+
+/// Embed a single token: sum of hashed sign contributions from its character
+/// 3-grams (with the whole token as an extra "gram"), L2-normalized.
+pub fn embed_token(token: &str) -> Embedding {
+    let mut v = [0f32; DIM];
+    let chars: Vec<char> = token.chars().collect();
+    let mut grams: Vec<String> = Vec::new();
+    if chars.len() <= 3 {
+        grams.push(token.to_string());
+    } else {
+        for w in chars.windows(3) {
+            grams.push(w.iter().collect());
+        }
+        grams.push(token.to_string());
+    }
+    for gram in &grams {
+        let h = fnv1a(gram.as_bytes(), 0);
+        // Two independent derived values per gram spread energy over the space.
+        for k in 0..4u64 {
+            let hk = fnv1a(gram.as_bytes(), k + 1);
+            let idx = (hk % DIM as u64) as usize;
+            let sign = if (h >> (k % 63)) & 1 == 1 { 1.0 } else { -1.0 };
+            v[idx] += sign;
+        }
+    }
+    normalize(&mut v);
+    v
+}
+
+/// Embed a document as the weighted mean of its token embeddings, then
+/// L2-normalize.  An empty document embeds to the zero vector.
+pub fn embed_document<'a, I>(tokens: I) -> Embedding
+where
+    I: IntoIterator<Item = (&'a str, f64)>,
+{
+    let mut acc = [0f32; DIM];
+    let mut any = false;
+    for (token, weight) in tokens {
+        any = true;
+        let e = embed_token(token);
+        for (a, x) in acc.iter_mut().zip(e.iter()) {
+            *a += *x * weight as f32;
+        }
+    }
+    if any {
+        normalize(&mut acc);
+    }
+    acc
+}
+
+fn normalize(v: &mut Embedding) {
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+}
+
+/// Cosine distance between two document embeddings, in `[0, 1]`.
+/// (Negative cosine similarities are clamped to distance 1.)  Two zero
+/// vectors (empty documents) have distance 0; a zero vs non-zero pair has
+/// distance 1.
+pub fn cosine_distance(a: &Embedding, b: &Embedding) -> f64 {
+    let na: f32 = a.iter().map(|x| x * x).sum();
+    let nb: f32 = b.iter().map(|x| x * x).sum();
+    if na == 0.0 && nb == 0.0 {
+        return 0.0;
+    }
+    if na == 0.0 || nb == 0.0 {
+        return 1.0;
+    }
+    let dot: f32 = a.iter().zip(b.iter()).map(|(x, y)| x * y).sum();
+    let sim = dot as f64 / (na.sqrt() as f64 * nb.sqrt() as f64);
+    super::clamp_unit(1.0 - sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn token_embedding_is_deterministic_and_unit_norm() {
+        let a = embed_token("tigers");
+        let b = embed_token("tigers");
+        assert_eq!(a, b);
+        let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn identical_documents_have_zero_distance() {
+        let d1 = embed_document([("lsu", 1.0), ("tigers", 1.0)]);
+        let d2 = embed_document([("lsu", 1.0), ("tigers", 1.0)]);
+        assert!(cosine_distance(&d1, &d2) < 1e-6);
+    }
+
+    #[test]
+    fn similar_tokens_are_closer_than_dissimilar() {
+        let a = embed_document([("mississippi", 1.0)]);
+        let b = embed_document([("missisippi", 1.0)]); // typo: shares most 3-grams
+        let c = embed_document([("qwertyuiop", 1.0)]);
+        assert!(cosine_distance(&a, &b) < cosine_distance(&a, &c));
+    }
+
+    #[test]
+    fn overlapping_documents_are_closer_than_disjoint() {
+        let a = embed_document([("lsu", 1.0), ("tigers", 1.0), ("football", 1.0)]);
+        let b = embed_document([("lsu", 1.0), ("tigers", 1.0), ("baseball", 1.0)]);
+        let c = embed_document([("zebra", 1.0), ("quantum", 1.0), ("xylophone", 1.0)]);
+        assert!(cosine_distance(&a, &b) < cosine_distance(&a, &c));
+    }
+
+    #[test]
+    fn empty_document_handling() {
+        let empty = embed_document(std::iter::empty::<(&str, f64)>());
+        let nonempty = embed_document([("word", 1.0)]);
+        assert_eq!(cosine_distance(&empty, &empty), 0.0);
+        assert_eq!(cosine_distance(&empty, &nonempty), 1.0);
+    }
+
+    #[test]
+    fn distance_is_bounded() {
+        let a = embed_document([("alpha", 1.0)]);
+        let b = embed_document([("omega", 1.0)]);
+        let d = cosine_distance(&a, &b);
+        assert!((0.0..=1.0).contains(&d));
+    }
+}

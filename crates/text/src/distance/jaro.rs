@@ -1,0 +1,147 @@
+//! Jaro and Jaro-Winkler similarity / distance.
+
+/// Jaro similarity between two strings, in `[0, 1]` (1 = identical).
+pub fn jaro_similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    jaro_similarity_chars(&a, &b)
+}
+
+/// Jaro similarity over pre-collected character slices.
+pub fn jaro_similarity_chars(a: &[char], b: &[char]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let match_window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut a_matched = vec![false; a.len()];
+    let mut b_matched = vec![false; b.len()];
+    let mut matches = 0usize;
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(match_window);
+        let hi = (i + match_window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                a_matched[i] = true;
+                b_matched[j] = true;
+                matches += 1;
+                break;
+            }
+        }
+    }
+    if matches == 0 {
+        return 0.0;
+    }
+    // Count transpositions between the matched subsequences.
+    let mut transpositions = 0usize;
+    let mut j = 0usize;
+    for (i, &ma) in a_matched.iter().enumerate() {
+        if !ma {
+            continue;
+        }
+        while !b_matched[j] {
+            j += 1;
+        }
+        if a[i] != b[j] {
+            transpositions += 1;
+        }
+        j += 1;
+    }
+    let m = matches as f64;
+    let t = (transpositions / 2) as f64;
+    (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
+}
+
+/// Jaro-Winkler similarity with the standard prefix scale of 0.1 and a
+/// maximum rewarded prefix of 4 characters.
+pub fn jaro_winkler_similarity(a: &str, b: &str) -> f64 {
+    let ac: Vec<char> = a.chars().collect();
+    let bc: Vec<char> = b.chars().collect();
+    jaro_winkler_similarity_chars(&ac, &bc)
+}
+
+/// Jaro-Winkler similarity over pre-collected character slices.
+pub fn jaro_winkler_similarity_chars(a: &[char], b: &[char]) -> f64 {
+    const PREFIX_SCALE: f64 = 0.1;
+    const MAX_PREFIX: usize = 4;
+    let jaro = jaro_similarity_chars(a, b);
+    let prefix = a
+        .iter()
+        .zip(b.iter())
+        .take(MAX_PREFIX)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (jaro + prefix * PREFIX_SCALE * (1.0 - jaro)).min(1.0)
+}
+
+/// Jaro-Winkler distance: `1 - similarity`, in `[0, 1]`.
+pub fn jaro_winkler_distance(a: &str, b: &str) -> f64 {
+    1.0 - jaro_winkler_similarity(a, b)
+}
+
+/// Jaro-Winkler distance over pre-collected character slices.
+pub fn jaro_winkler_distance_chars(a: &[char], b: &[char]) -> f64 {
+    1.0 - jaro_winkler_similarity_chars(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-3
+    }
+
+    #[test]
+    fn identical_strings_are_similarity_one() {
+        assert_eq!(jaro_similarity("martha", "martha"), 1.0);
+        assert_eq!(jaro_winkler_distance("martha", "martha"), 0.0);
+    }
+
+    #[test]
+    fn textbook_martha_marhta() {
+        assert!(close(jaro_similarity("martha", "marhta"), 0.9444));
+        assert!(close(jaro_winkler_similarity("martha", "marhta"), 0.9611));
+    }
+
+    #[test]
+    fn textbook_dwayne_duane() {
+        assert!(close(jaro_similarity("dwayne", "duane"), 0.8222));
+        assert!(close(jaro_winkler_similarity("dwayne", "duane"), 0.84));
+    }
+
+    #[test]
+    fn disjoint_strings_have_zero_similarity() {
+        assert_eq!(jaro_similarity("abc", "xyz"), 0.0);
+        assert_eq!(jaro_winkler_distance("abc", "xyz"), 1.0);
+    }
+
+    #[test]
+    fn empty_string_cases() {
+        assert_eq!(jaro_similarity("", ""), 1.0);
+        assert_eq!(jaro_similarity("", "abc"), 0.0);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_bounded() {
+        let pairs = [("crate", "trace"), ("abcdef", "abcdxy"), ("a", "ab")];
+        for (x, y) in pairs {
+            let d1 = jaro_winkler_distance(x, y);
+            let d2 = jaro_winkler_distance(y, x);
+            assert!((d1 - d2).abs() < 1e-12);
+            assert!((0.0..=1.0).contains(&d1));
+        }
+    }
+
+    #[test]
+    fn shared_prefix_gets_winkler_boost() {
+        let plain = jaro_similarity("prefixed", "prefixes");
+        let boosted = jaro_winkler_similarity("prefixed", "prefixes");
+        assert!(boosted >= plain);
+    }
+}

@@ -1,0 +1,43 @@
+//! Distance functions (the `D` axis of the configuration space).
+//!
+//! All distances are normalized to `[0, 1]`, `0` meaning identical and `1`
+//! meaning maximally different, so that thresholds from different functions
+//! live on comparable scales (the search still discretizes thresholds per
+//! function).
+//!
+//! * [`edit`] — normalized Levenshtein distance (`ED`).
+//! * [`jaro`] — Jaro-Winkler distance (`JW`).
+//! * [`set`] — weighted set distances: Jaccard (`JD`), Cosine (`CD`),
+//!   Dice (`DD`), Max-inclusion (`MD`) and Intersect (`ID`).
+//! * [`hybrid`] — the paper's Contain-Jaccard / Contain-Cosine / Contain-Dice
+//!   distances (Table 1 footnote).
+//! * [`embed`] — embedding distance (`GED`) over hashed token embeddings.
+
+pub mod edit;
+pub mod embed;
+pub mod hybrid;
+pub mod jaro;
+pub mod set;
+
+/// Clamp a floating point distance into `[0, 1]`, mapping NaN to 1.
+#[inline]
+pub fn clamp_unit(d: f64) -> f64 {
+    if d.is_nan() {
+        1.0
+    } else {
+        d.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::clamp_unit;
+
+    #[test]
+    fn clamp_handles_nan_and_out_of_range() {
+        assert_eq!(clamp_unit(f64::NAN), 1.0);
+        assert_eq!(clamp_unit(-0.5), 0.0);
+        assert_eq!(clamp_unit(1.5), 1.0);
+        assert_eq!(clamp_unit(0.25), 0.25);
+    }
+}

@@ -1,0 +1,232 @@
+//! Cached per-record representations used to evaluate many join functions
+//! over the same tables without repeating pre-processing work.
+//!
+//! A [`PreparedColumn`] is built once over the concatenation of the records
+//! whose pairwise distances will be needed (Auto-FuzzyJoin builds it over
+//! `L ∪ R` so that IDF weights reflect both tables, as the blocking and
+//! weighting of the paper do).  It caches, for every record:
+//!
+//! * the pre-processed string and its character vector per
+//!   [`Preprocessing`] option (4 variants),
+//! * the sorted, deduplicated token-id set per `(Preprocessing,
+//!   Tokenization)` scheme (8 variants),
+//! * the hashed document embedding per [`Preprocessing`] option (4 variants).
+
+use crate::distance::embed::{self, Embedding};
+use crate::preprocess::Preprocessing;
+use crate::tokenize::Tokenization;
+use crate::vocab::Vocab;
+use crate::weights::{TokenWeighting, WeightTable};
+
+/// Number of pre-processing variants.
+pub const NUM_PREP: usize = 4;
+/// Number of `(pre-processing, tokenization)` schemes.
+pub const NUM_SCHEMES: usize = 8;
+
+/// Index of a pre-processing option in the cached arrays.
+#[inline]
+pub fn prep_index(p: Preprocessing) -> usize {
+    match p {
+        Preprocessing::Lower => 0,
+        Preprocessing::LowerStem => 1,
+        Preprocessing::LowerRemovePunct => 2,
+        Preprocessing::LowerStemRemovePunct => 3,
+    }
+}
+
+/// Index of a tokenization option.
+#[inline]
+pub fn tok_index(t: Tokenization) -> usize {
+    match t {
+        Tokenization::Gram3 => 0,
+        Tokenization::Space => 1,
+    }
+}
+
+/// Index of a `(pre-processing, tokenization)` scheme.
+#[inline]
+pub fn scheme_index(p: Preprocessing, t: Tokenization) -> usize {
+    prep_index(p) * 2 + tok_index(t)
+}
+
+/// Cached representations of a single record.
+#[derive(Debug, Clone)]
+pub struct PreparedRecord {
+    /// Original raw string.
+    pub raw: String,
+    /// Pre-processed string per pre-processing option.
+    pub strings: [String; NUM_PREP],
+    /// Character vectors of the pre-processed strings (for char distances).
+    pub chars: [Vec<char>; NUM_PREP],
+    /// Sorted, deduplicated token id sets per scheme.
+    pub token_sets: [Vec<u32>; NUM_SCHEMES],
+    /// Hashed document embeddings per pre-processing option.
+    pub embeddings: [Embedding; NUM_PREP],
+}
+
+/// A column of prepared records plus the vocabularies / weight tables shared
+/// by all of them.
+#[derive(Debug, Clone)]
+pub struct PreparedColumn {
+    records: Vec<PreparedRecord>,
+    vocabs: [Vocab; NUM_SCHEMES],
+    idf_tables: [WeightTable; NUM_SCHEMES],
+    equal_tables: [WeightTable; NUM_SCHEMES],
+}
+
+impl PreparedColumn {
+    /// Build a prepared column from raw strings.
+    pub fn build<S: AsRef<str>>(strings: &[S]) -> Self {
+        let mut vocabs: [Vocab; NUM_SCHEMES] = Default::default();
+        let mut records = Vec::with_capacity(strings.len());
+        for raw in strings {
+            let raw = raw.as_ref();
+            let mut prepped: [String; NUM_PREP] = Default::default();
+            let mut chars: [Vec<char>; NUM_PREP] = Default::default();
+            let mut embeddings = [[0f32; embed::DIM]; NUM_PREP];
+            let mut token_sets: [Vec<u32>; NUM_SCHEMES] = Default::default();
+            for p in Preprocessing::ALL {
+                let pi = prep_index(p);
+                let s = p.apply(raw);
+                chars[pi] = s.chars().collect();
+                // Document embedding over space tokens of the preprocessed
+                // string with unit weights (spaCy-style mean vector).
+                embeddings[pi] =
+                    embed::embed_document(s.split_whitespace().map(|t| (t, 1.0)));
+                for t in Tokenization::ALL {
+                    let si = scheme_index(p, t);
+                    let tokens = t.tokenize(&s);
+                    token_sets[si] = vocabs[si].add_document(&tokens);
+                }
+                prepped[pi] = s;
+            }
+            records.push(PreparedRecord {
+                raw: raw.to_string(),
+                strings: prepped,
+                chars,
+                token_sets,
+                embeddings,
+            });
+        }
+        let idf_tables = std::array::from_fn(|i| WeightTable::idf(&vocabs[i]));
+        let equal_tables = std::array::from_fn(|i| WeightTable::equal(vocabs[i].len()));
+        Self {
+            records,
+            vocabs,
+            idf_tables,
+            equal_tables,
+        }
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the column holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Access a prepared record.
+    pub fn record(&self, idx: usize) -> &PreparedRecord {
+        &self.records[idx]
+    }
+
+    /// All prepared records.
+    pub fn records(&self) -> &[PreparedRecord] {
+        &self.records
+    }
+
+    /// The vocabulary of a `(pre-processing, tokenization)` scheme.
+    pub fn vocab(&self, p: Preprocessing, t: Tokenization) -> &Vocab {
+        &self.vocabs[scheme_index(p, t)]
+    }
+
+    /// The weight table for a scheme under a weighting option.
+    pub fn weight_table(
+        &self,
+        p: Preprocessing,
+        t: Tokenization,
+        w: TokenWeighting,
+    ) -> &WeightTable {
+        let si = scheme_index(p, t);
+        match w {
+            TokenWeighting::Equal => &self.equal_tables[si],
+            TokenWeighting::Idf => &self.idf_tables[si],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PreparedColumn {
+        PreparedColumn::build(&[
+            "2007 LSU Tigers football team",
+            "2008 LSU Tigers football team",
+            "2007 Wisconsin Badgers football team",
+        ])
+    }
+
+    #[test]
+    fn build_caches_all_variants() {
+        let col = sample();
+        assert_eq!(col.len(), 3);
+        let r = col.record(0);
+        assert_eq!(r.raw, "2007 LSU Tigers football team");
+        // Lower-cased variant is lower case.
+        assert!(r.strings[prep_index(Preprocessing::Lower)].contains("lsu"));
+        // All 8 token sets are non-empty.
+        for s in &r.token_sets {
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    fn token_sets_are_sorted_and_deduped() {
+        let col = PreparedColumn::build(&["aaa aaa bbb aaa"]);
+        for set in &col.record(0).token_sets {
+            assert!(set.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn scheme_indices_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for p in Preprocessing::ALL {
+            for t in Tokenization::ALL {
+                assert!(seen.insert(scheme_index(p, t)));
+            }
+        }
+        assert_eq!(seen.len(), NUM_SCHEMES);
+    }
+
+    #[test]
+    fn idf_weight_tables_cover_vocab() {
+        let col = sample();
+        for p in Preprocessing::ALL {
+            for t in Tokenization::ALL {
+                let v = col.vocab(p, t);
+                let w = col.weight_table(p, t, TokenWeighting::Idf);
+                assert_eq!(v.len(), w.len());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_column_is_supported() {
+        let col = PreparedColumn::build::<&str>(&[]);
+        assert!(col.is_empty());
+    }
+
+    #[test]
+    fn empty_string_record_is_supported() {
+        let col = PreparedColumn::build(&["", "abc"]);
+        assert_eq!(col.len(), 2);
+        for set in &col.record(0).token_sets {
+            assert!(set.is_empty());
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! String pre-processing options (the `P` axis of the configuration space).
+//!
+//! The paper's Figure 2 / Table 1 lists four pre-processing options:
+//! lower-casing (`L`), lower-casing + stemming (`L+S`), lower-casing +
+//! punctuation removal (`L+RP`) and all three combined (`L+S+RP`).
+
+use serde::{Deserialize, Serialize};
+
+/// A pre-processing option applied to both input strings before
+/// tokenization / distance computation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Preprocessing {
+    /// Lower-casing only (`L`).
+    Lower,
+    /// Lower-casing followed by stemming of every whitespace token (`L+S`).
+    LowerStem,
+    /// Lower-casing followed by punctuation removal (`L+RP`).
+    LowerRemovePunct,
+    /// Lower-casing, stemming and punctuation removal (`L+S+RP`).
+    LowerStemRemovePunct,
+}
+
+impl Preprocessing {
+    /// All four options, in the order they appear in Table 1.
+    pub const ALL: [Preprocessing; 4] = [
+        Preprocessing::Lower,
+        Preprocessing::LowerStem,
+        Preprocessing::LowerRemovePunct,
+        Preprocessing::LowerStemRemovePunct,
+    ];
+
+    /// Short code used in printed join programs (matches the paper's notation).
+    pub fn code(&self) -> &'static str {
+        match self {
+            Preprocessing::Lower => "L",
+            Preprocessing::LowerStem => "L+S",
+            Preprocessing::LowerRemovePunct => "L+RP",
+            Preprocessing::LowerStemRemovePunct => "L+S+RP",
+        }
+    }
+
+    /// Whether stemming is part of this option.
+    pub fn stems(&self) -> bool {
+        matches!(
+            self,
+            Preprocessing::LowerStem | Preprocessing::LowerStemRemovePunct
+        )
+    }
+
+    /// Whether punctuation removal is part of this option.
+    pub fn removes_punct(&self) -> bool {
+        matches!(
+            self,
+            Preprocessing::LowerRemovePunct | Preprocessing::LowerStemRemovePunct
+        )
+    }
+
+    /// Apply this pre-processing to a string, producing the normalized form.
+    pub fn apply(&self, input: &str) -> String {
+        let lowered = input.to_lowercase();
+        let depunct = if self.removes_punct() {
+            remove_punctuation(&lowered)
+        } else {
+            lowered
+        };
+        if self.stems() {
+            stem_words(&depunct)
+        } else {
+            normalize_whitespace(&depunct)
+        }
+    }
+}
+
+/// Replace every punctuation / symbol character with a space.
+///
+/// Digits and alphabetic characters (of any script) are preserved; everything
+/// else becomes a separator so that `"U.S.A."` → `"u s a"`.
+pub fn remove_punctuation(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for ch in input.chars() {
+        if ch.is_alphanumeric() || ch.is_whitespace() {
+            out.push(ch);
+        } else {
+            out.push(' ');
+        }
+    }
+    out
+}
+
+/// Collapse runs of whitespace into single spaces and trim the ends.
+pub fn normalize_whitespace(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut last_was_space = true;
+    for ch in input.chars() {
+        if ch.is_whitespace() {
+            if !last_was_space {
+                out.push(' ');
+                last_was_space = true;
+            }
+        } else {
+            out.push(ch);
+            last_was_space = false;
+        }
+    }
+    if out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Stem every whitespace-separated word with [`stem_word`] and re-join with
+/// single spaces.
+pub fn stem_words(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    for (i, word) in input.split_whitespace().enumerate() {
+        if i > 0 {
+            out.push(' ');
+        }
+        out.push_str(&stem_word(word));
+    }
+    out
+}
+
+/// A lightweight English suffix stripper in the spirit of the Porter stemmer.
+///
+/// The paper uses NLTK's stemmer; the exact stemming algorithm is not load
+/// bearing (it only needs to map obvious inflection variants — plural,
+/// gerund, past tense — to a common form), so we implement a compact
+/// rule-based stripper rather than full Porter.
+pub fn stem_word(word: &str) -> String {
+    let w = word;
+    if w.chars().any(|c| c.is_ascii_digit()) || w.len() <= 3 {
+        return w.to_string();
+    }
+    // Order matters: longest suffixes first.
+    const RULES: &[(&str, &str)] = &[
+        ("ational", "ate"),
+        ("ization", "ize"),
+        ("fulness", "ful"),
+        ("ousness", "ous"),
+        ("iveness", "ive"),
+        ("tional", "tion"),
+        ("biliti", "ble"),
+        ("lessli", "less"),
+        ("entli", "ent"),
+        ("ation", "ate"),
+        ("alism", "al"),
+        ("aliti", "al"),
+        ("ement", ""),
+        ("ments", "ment"),
+        ("iness", "y"),
+        ("ingly", ""),
+        ("edly", ""),
+        ("ful", ""),
+        ("ness", ""),
+        ("ing", ""),
+        ("ies", "y"),
+        ("ied", "y"),
+        ("est", ""),
+        ("ed", ""),
+        ("ly", ""),
+        ("s", ""),
+    ];
+    for (suffix, replacement) in RULES {
+        if let Some(stripped) = w.strip_suffix(suffix) {
+            // Keep a minimum stem length so that e.g. "is" / "was" survive.
+            if stripped.chars().count() >= 3 {
+                let mut out = String::with_capacity(stripped.len() + replacement.len());
+                out.push_str(stripped);
+                out.push_str(replacement);
+                // Avoid creating doubled endings like "runn" -> keep as-is; this
+                // stays deterministic and consistent across both tables, which
+                // is all the join cares about.
+                return out;
+            }
+        }
+    }
+    w.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_only_keeps_punctuation() {
+        assert_eq!(
+            Preprocessing::Lower.apply("Hello, World!"),
+            "hello, world!"
+        );
+    }
+
+    #[test]
+    fn remove_punct_strips_symbols() {
+        assert_eq!(
+            Preprocessing::LowerRemovePunct.apply("U.S.A. Today-2020"),
+            "u s a today 2020"
+        );
+    }
+
+    #[test]
+    fn stemming_maps_plurals_and_gerunds_together() {
+        let a = Preprocessing::LowerStem.apply("Running Dogs");
+        let b = Preprocessing::LowerStem.apply("runnings dog");
+        // Both forms should agree on the stemmed "dog" token.
+        assert!(a.contains("dog"));
+        assert!(b.contains("dog"));
+        assert!(!a.contains("dogs"));
+    }
+
+    #[test]
+    fn stem_word_preserves_short_and_numeric_tokens() {
+        assert_eq!(stem_word("LSU"), "LSU");
+        assert_eq!(stem_word("2008"), "2008");
+        assert_eq!(stem_word("a1b2c3s"), "a1b2c3s");
+    }
+
+    #[test]
+    fn stem_word_is_idempotent_on_common_words() {
+        for w in ["teams", "running", "baseball", "football", "tigers"] {
+            let once = stem_word(w);
+            let twice = stem_word(&once);
+            assert_eq!(once, twice, "stemming {w} twice changed the result");
+        }
+    }
+
+    #[test]
+    fn normalize_whitespace_collapses_runs() {
+        assert_eq!(normalize_whitespace("  a \t b\n\nc  "), "a b c");
+    }
+
+    #[test]
+    fn all_preprocessings_have_distinct_codes() {
+        let codes: std::collections::HashSet<_> =
+            Preprocessing::ALL.iter().map(|p| p.code()).collect();
+        assert_eq!(codes.len(), 4);
+    }
+
+    #[test]
+    fn full_pipeline_handles_unicode() {
+        let s = Preprocessing::LowerStemRemovePunct.apply("Café-Zürich (2019)");
+        assert!(s.contains("café") || s.contains("caf"));
+        assert!(!s.contains('('));
+    }
+
+    #[test]
+    fn empty_string_stays_empty() {
+        for p in Preprocessing::ALL {
+            assert_eq!(p.apply(""), "");
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Tokenization options (the `T` axis of the configuration space).
+//!
+//! The paper considers whitespace tokenization (`SP`) and character 3-gram
+//! tokenization (`3G`).  Tokenizers produce *sets* of tokens (duplicates are
+//! removed), matching the set-based distance functions of Table 1.
+
+use serde::{Deserialize, Serialize};
+
+/// A tokenization option.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Tokenization {
+    /// Whitespace tokenization (`SP`).
+    Space,
+    /// Character q-gram tokenization with q = 3 (`3G`).  Strings shorter than
+    /// q yield the whole string as a single token.
+    Gram3,
+}
+
+impl Tokenization {
+    /// The two options of Table 1.
+    pub const ALL: [Tokenization; 2] = [Tokenization::Gram3, Tokenization::Space];
+
+    /// Short code used in printed join programs.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Tokenization::Space => "SP",
+            Tokenization::Gram3 => "3G",
+        }
+    }
+
+    /// Tokenize `input` into a vector of tokens (duplicates preserved; callers
+    /// that want set semantics should dedup, as [`crate::prepared`] does).
+    pub fn tokenize(&self, input: &str) -> Vec<String> {
+        match self {
+            Tokenization::Space => space_tokenize(input),
+            Tokenization::Gram3 => qgram_tokenize(input, 3),
+        }
+    }
+}
+
+/// Split on whitespace.
+pub fn space_tokenize(input: &str) -> Vec<String> {
+    input.split_whitespace().map(str::to_string).collect()
+}
+
+/// Character q-grams over the string with whitespace collapsed to a single
+/// space (so token boundaries still contribute grams, as py_stringmatching
+/// does with padding disabled).
+pub fn qgram_tokenize(input: &str, q: usize) -> Vec<String> {
+    assert!(q >= 1, "q-gram size must be at least 1");
+    let chars: Vec<char> = crate::preprocess::normalize_whitespace(input).chars().collect();
+    if chars.is_empty() {
+        return Vec::new();
+    }
+    if chars.len() <= q {
+        return vec![chars.iter().collect()];
+    }
+    let mut grams = Vec::with_capacity(chars.len() - q + 1);
+    for window in chars.windows(q) {
+        grams.push(window.iter().collect());
+    }
+    grams
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_tokenize_splits_words() {
+        assert_eq!(
+            space_tokenize("2008 lsu tigers"),
+            vec!["2008", "lsu", "tigers"]
+        );
+    }
+
+    #[test]
+    fn space_tokenize_empty_is_empty() {
+        assert!(space_tokenize("").is_empty());
+        assert!(space_tokenize("   ").is_empty());
+    }
+
+    #[test]
+    fn qgram_tokenize_produces_sliding_windows() {
+        assert_eq!(qgram_tokenize("abcd", 3), vec!["abc", "bcd"]);
+    }
+
+    #[test]
+    fn qgram_tokenize_short_string_is_single_token() {
+        assert_eq!(qgram_tokenize("ab", 3), vec!["ab"]);
+        assert_eq!(qgram_tokenize("abc", 3), vec!["abc"]);
+    }
+
+    #[test]
+    fn qgram_count_matches_length() {
+        let toks = qgram_tokenize("abcdefgh", 3);
+        assert_eq!(toks.len(), 8 - 3 + 1);
+    }
+
+    #[test]
+    fn qgram_collapses_internal_whitespace() {
+        let a = qgram_tokenize("a  b", 3);
+        let b = qgram_tokenize("a b", 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unicode_qgrams_respect_char_boundaries() {
+        let toks = qgram_tokenize("héllo", 3);
+        assert_eq!(toks[0], "hél");
+    }
+
+    #[test]
+    fn codes_are_stable() {
+        assert_eq!(Tokenization::Space.code(), "SP");
+        assert_eq!(Tokenization::Gram3.code(), "3G");
+    }
+}

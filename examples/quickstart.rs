@@ -1,0 +1,61 @@
+//! Quickstart: auto-program a fuzzy join between two small name tables.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use autofj::core::{AutoFuzzyJoin, Table};
+use autofj::text::JoinFunctionSpace;
+
+fn main() {
+    // The reference table L: a curated list with no duplicates.
+    let reference = Table::from_strings(
+        "ncaa-teams",
+        [
+            "2007 LSU Tigers football team",
+            "2007 LSU Tigers baseball team",
+            "2008 LSU Tigers football team",
+            "2007 Wisconsin Badgers football team",
+            "2008 Wisconsin Badgers football team",
+            "2007 Oregon Ducks football team",
+            "2008 Oregon Ducks football team",
+            "2007 Alabama Crimson Tide football team",
+            "2008 Alabama Crimson Tide football team",
+            "2007 Michigan Wolverines football team",
+        ],
+    );
+    // The query table R: messy variants that need to be matched against L.
+    let queries = Table::from_strings(
+        "queries",
+        [
+            "2007 LSU Tigers football",              // dropped token
+            "the 2008 Wisconsin Badgers football team", // extra token
+            "2007 Oregon Ducks Football Team (NCAA)", // casing + qualifier
+            "2008 Alabama Crimson Tide footbal team", // typo
+            "1995 Harvard Crimson rowing team",       // no counterpart in L
+        ],
+    );
+
+    // Build the joiner: precision target 0.9, default 140-function space.
+    let joiner = AutoFuzzyJoin::builder()
+        .precision_target(0.9)
+        .space(JoinFunctionSpace::full())
+        .build();
+
+    let result = joiner.join(&reference, &queries);
+
+    println!("Auto-programmed join program:\n  {}\n", result.program);
+    println!(
+        "Estimated precision = {:.3}, estimated recall (expected true positives) = {:.1}\n",
+        result.precision_estimate(),
+        result.recall_estimate()
+    );
+    println!("Joins:");
+    for (r, assignment) in result.assignment.iter().enumerate() {
+        let rhs = &queries.values()[r];
+        match assignment {
+            Some(l) => println!("  {:55} -> {}", rhs, reference.values()[*l]),
+            None => println!("  {:55} -> ⊥ (no match)", rhs),
+        }
+    }
+}

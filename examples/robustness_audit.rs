@@ -1,0 +1,56 @@
+//! Robustness audit: stress a single benchmark task the way Figure 6 does —
+//! irrelevant records in R, a completely unrelated R, and a sparsified L —
+//! and watch how Auto-FuzzyJoin's precision holds up.
+//!
+//! ```bash
+//! cargo run --release --example robustness_audit
+//! ```
+
+use autofj::core::{AutoFjOptions, AutoFuzzyJoin};
+use autofj::datagen::adversarial::{add_irrelevant_records, sparsify_reference, unrelated_pair};
+use autofj::datagen::{benchmark_specs, BenchmarkScale};
+use autofj::eval::evaluate_assignment;
+use autofj::text::JoinFunctionSpace;
+
+fn main() {
+    let specs = benchmark_specs(BenchmarkScale::Tiny);
+    let base = specs[36].generate(); // ShoppingMall
+    let donor = specs[10].generate(); // Drug (unrelated domain)
+    let joiner = AutoFuzzyJoin::builder()
+        .space(JoinFunctionSpace::reduced24())
+        .options(AutoFjOptions::default())
+        .build();
+
+    let audit = |name: &str, task: &autofj::datagen::SingleColumnTask| {
+        let result = joiner.join_values(&task.left, &task.right);
+        let q = evaluate_assignment(&result.assignment, &task.ground_truth);
+        println!(
+            "{name:32} |L|={:4} |R|={:4}  joined={:4}  precision={:.3}  recall={:.3}",
+            task.left.len(),
+            task.right.len(),
+            result.num_joined(),
+            q.precision,
+            q.recall_relative
+        );
+    };
+
+    println!("Robustness audit on task `{}`\n", base.name);
+    audit("baseline", &base);
+    for frac in [0.2, 0.5, 0.8] {
+        let noisy = add_irrelevant_records(&base, &donor.left, frac, 7);
+        audit(&format!("+{:.0}% irrelevant R records", frac * 100.0), &noisy);
+    }
+    for frac in [0.2, 0.4] {
+        let sparse = sparsify_reference(&base, frac, 11);
+        audit(&format!("-{:.0}% of L removed", frac * 100.0), &sparse);
+    }
+    let zero = unrelated_pair(&base, &donor);
+    let result = joiner.join_values(&zero.left, &zero.right);
+    println!(
+        "{:32} |L|={:4} |R|={:4}  joined={:4}  (every join here is a false positive)",
+        "unrelated L and R",
+        zero.left.len(),
+        zero.right.len(),
+        result.num_joined()
+    );
+}

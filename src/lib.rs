@@ -1,0 +1,48 @@
+//! # autofj — Auto-FuzzyJoin for Rust
+//!
+//! Umbrella crate re-exporting the Auto-FuzzyJoin workspace: an unsupervised
+//! framework that automatically programs fuzzy similarity joins between a
+//! reference table `L` and a query table `R` so that a user-specified
+//! precision target is met while recall is maximized, following
+//! *"Auto-FuzzyJoin: Auto-Program Fuzzy Similarity Joins Without Labeled
+//! Examples"* (SIGMOD 2021).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use autofj::core::{AutoFuzzyJoin, Table};
+//!
+//! let left = Table::from_strings(
+//!     "teams",
+//!     ["2007 LSU Tigers football team", "2008 LSU Tigers football team",
+//!      "2007 Wisconsin Badgers football team", "2008 Wisconsin Badgers football team"],
+//! );
+//! let right = Table::from_strings(
+//!     "queries",
+//!     ["2007 LSU Tigers football", "2008 Wisconsin Badgers team (football)"],
+//! );
+//!
+//! let result = AutoFuzzyJoin::builder()
+//!     .precision_target(0.9)
+//!     .build()
+//!     .join(&left, &right);
+//! assert!(result.precision_estimate() >= 0.0);
+//! ```
+
+pub use autofj_baselines as baselines;
+pub use autofj_block as block;
+pub use autofj_core as core;
+pub use autofj_datagen as datagen;
+pub use autofj_eval as eval;
+pub use autofj_text as text;
+
+/// Crate version of the umbrella package.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

@@ -1,0 +1,78 @@
+//! Cross-crate integration tests for the multi-column algorithm
+//! (Algorithm 3) on the synthetic Magellan-style datasets.
+
+use autofj::core::{AutoFjOptions, AutoFuzzyJoin};
+use autofj::datagen::adversarial::add_random_columns;
+use autofj::datagen::MultiColumnDataset;
+use autofj::eval::evaluate_assignment;
+use autofj::text::JoinFunctionSpace;
+
+fn joiner() -> AutoFuzzyJoin {
+    AutoFuzzyJoin::builder()
+        .space(JoinFunctionSpace::reduced24())
+        .options(AutoFjOptions {
+            num_thresholds: 20,
+            ..AutoFjOptions::default()
+        })
+        .build()
+}
+
+#[test]
+fn multi_column_selects_an_informative_column_on_citations() {
+    let task = MultiColumnDataset::DA.generate(0.06, 21);
+    let result = joiner().join(&task.left, &task.right);
+    assert!(
+        result
+            .program
+            .columns
+            .iter()
+            .any(|c| task.informative_columns.contains(c)),
+        "selected {:?}, informative are {:?}",
+        result.program.columns,
+        task.informative_columns
+    );
+    let q = evaluate_assignment(&result.assignment, &task.ground_truth);
+    assert!(q.precision >= 0.6, "precision {:.3}", q.precision);
+    assert!(q.recall_relative >= 0.3, "recall {:.3}", q.recall_relative);
+}
+
+#[test]
+fn multi_column_weights_are_normalized_and_positive() {
+    let task = MultiColumnDataset::BR.generate(0.06, 5);
+    let result = joiner().join(&task.left, &task.right);
+    if result.program.columns.is_empty() {
+        return;
+    }
+    let sum: f64 = result.program.column_weights.iter().sum();
+    assert!((sum - 1.0).abs() < 1e-6, "weights sum to {sum}");
+    assert!(result.program.column_weights.iter().all(|&w| w > 0.0));
+}
+
+#[test]
+fn random_columns_are_not_selected() {
+    let task = MultiColumnDataset::FZ.generate(0.08, 9);
+    let noisy = add_random_columns(&task, 2, 77);
+    let result = joiner().join(&noisy.left, &noisy.right);
+    for c in &result.program.columns {
+        assert!(
+            !c.starts_with("random_"),
+            "a random column {c} was selected by the forward search"
+        );
+    }
+}
+
+#[test]
+fn adding_random_columns_does_not_change_recall_much() {
+    let task = MultiColumnDataset::AB.generate(0.06, 3);
+    let base = joiner().join(&task.left, &task.right);
+    let base_q = evaluate_assignment(&base.assignment, &task.ground_truth);
+    let noisy = add_random_columns(&task, 2, 13);
+    let with_noise = joiner().join(&noisy.left, &noisy.right);
+    let noise_q = evaluate_assignment(&with_noise.assignment, &noisy.ground_truth);
+    assert!(
+        (noise_q.recall_relative - base_q.recall_relative).abs() <= 0.15,
+        "recall moved from {:.3} to {:.3} after adding random columns",
+        base_q.recall_relative,
+        noise_q.recall_relative
+    );
+}

@@ -1,0 +1,114 @@
+//! Property-based tests over the public API (proptest): distance invariants,
+//! blocking guarantees, estimator bounds and metric bounds.
+
+use autofj::block::Blocker;
+use autofj::core::{AutoFuzzyJoin, NegativeRuleSet};
+use autofj::eval::{adjusted_recall, evaluate_assignment, pr_auc, ScoredPrediction};
+use autofj::text::{JoinFunctionSpace, PreparedColumn};
+use proptest::prelude::*;
+
+/// Strategy: short token-ish strings (letters, digits, spaces).
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9]{1,8}( [A-Za-z0-9]{1,8}){0,5}").unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every join function maps every pair into [0, 1] and is zero on
+    /// identical strings.
+    #[test]
+    fn distances_are_bounded_and_reflexive(a in name_strategy(), b in name_strategy()) {
+        let col = PreparedColumn::build(&[a.clone(), b.clone()]);
+        for f in JoinFunctionSpace::reduced24().functions() {
+            let d = f.distance(&col, 0, 1);
+            prop_assert!((0.0..=1.0).contains(&d), "{} -> {d}", f.code());
+            let self_d = f.distance(&col, 0, 0);
+            prop_assert!(self_d.abs() < 1e-9);
+        }
+    }
+
+    /// Symmetric distance functions are symmetric (containment hybrids are
+    /// excluded by design — they are directional).
+    #[test]
+    fn non_containment_distances_are_symmetric(a in name_strategy(), b in name_strategy()) {
+        let col = PreparedColumn::build(&[a, b]);
+        for f in JoinFunctionSpace::reduced24().functions() {
+            if f.code().contains("Contain") {
+                continue;
+            }
+            let d1 = f.distance(&col, 0, 1);
+            let d2 = f.distance(&col, 1, 0);
+            prop_assert!((d1 - d2).abs() < 1e-9, "{} asymmetric: {d1} vs {d2}", f.code());
+        }
+    }
+
+    /// Blocking always keeps an exact duplicate of the probe record.
+    #[test]
+    fn blocking_never_drops_exact_matches(
+        mut names in proptest::collection::vec(name_strategy(), 5..40),
+        pick in 0usize..1000,
+    ) {
+        names.dedup();
+        prop_assume!(names.len() >= 5);
+        let probe = names[pick % names.len()].clone();
+        let out = Blocker::new().block(&names, &[probe.clone()]);
+        let target = names.iter().position(|n| *n == probe).unwrap();
+        prop_assert!(out.left_candidates_of_right[0].contains(&target));
+    }
+
+    /// The end-to-end joiner never panics on arbitrary inputs and always
+    /// produces a consistent result structure.
+    #[test]
+    fn joiner_is_total_and_consistent(
+        left in proptest::collection::vec(name_strategy(), 1..15),
+        right in proptest::collection::vec(name_strategy(), 0..10),
+    ) {
+        let joiner = AutoFuzzyJoin::builder()
+            .space(JoinFunctionSpace::reduced24())
+            .num_thresholds(8)
+            .build();
+        let result = joiner.join_values(&left, &right);
+        prop_assert_eq!(result.assignment.len(), right.len());
+        prop_assert!(result.estimated_precision >= 0.0 && result.estimated_precision <= 1.0);
+        prop_assert!(result.num_joined() <= right.len());
+        for p in &result.pairs {
+            prop_assert!(p.left < left.len());
+            prop_assert!(p.right < right.len());
+        }
+    }
+
+    /// Negative rules never forbid a pair of identical strings and are
+    /// symmetric in their arguments.
+    #[test]
+    fn negative_rules_are_sane(names in proptest::collection::vec(name_strategy(), 2..20)) {
+        let rules = NegativeRuleSet::learn_exhaustive(&names);
+        for n in &names {
+            prop_assert!(!rules.forbids(n, n));
+        }
+        if names.len() >= 2 {
+            prop_assert_eq!(rules.forbids(&names[0], &names[1]), rules.forbids(&names[1], &names[0]));
+        }
+    }
+
+    /// Evaluation metrics stay in range for arbitrary predictions.
+    #[test]
+    fn metrics_are_bounded(
+        gt in proptest::collection::vec(proptest::option::of(0usize..20), 1..30),
+        preds in proptest::collection::vec((0usize..30, 0usize..20, 0.0f64..1.0), 0..40),
+    ) {
+        let preds: Vec<ScoredPrediction> = preds
+            .into_iter()
+            .filter(|(r, _, _)| *r < gt.len())
+            .map(|(right, left, score)| ScoredPrediction { right, left, score })
+            .collect();
+        let auc = pr_auc(&preds, &gt);
+        prop_assert!((0.0..=1.0).contains(&auc));
+        let ar = adjusted_recall(&preds, &gt, 0.9);
+        prop_assert!((0.0..=1.0).contains(&ar.recall_relative));
+        prop_assert!((0.0..=1.0).contains(&ar.precision));
+        let assignment: Vec<Option<usize>> = vec![None; gt.len()];
+        let q = evaluate_assignment(&assignment, &gt);
+        prop_assert_eq!(q.precision, 1.0);
+    }
+}
