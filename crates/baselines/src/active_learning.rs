@@ -103,7 +103,11 @@ impl SupervisedMatcher for ActiveLearning {
                 })
                 .collect();
             uncertainty.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-            let picked: Vec<usize> = uncertainty.iter().take(per_round).map(|(r, _)| *r).collect();
+            let picked: Vec<usize> = uncertainty
+                .iter()
+                .take(per_round)
+                .map(|(r, _)| *r)
+                .collect();
             pool.retain(|r| !picked.contains(r));
             labeled.extend(picked);
         }
@@ -122,7 +126,11 @@ impl SupervisedMatcher for ActiveLearning {
                     Some(model) => model.predict_proba(&f),
                     None => f.iter().sum::<f64>() / f.len() as f64,
                 };
-                ScoredPrediction { right: r, left: l, score }
+                ScoredPrediction {
+                    right: r,
+                    left: l,
+                    score,
+                }
             })
             .collect();
         best_per_right(scored)
@@ -137,10 +145,20 @@ mod tests {
     #[test]
     fn active_learner_matches_most_test_records() {
         let left: Vec<String> = (0..60)
-            .map(|i| format!("Lexington {} Archive box {i}", ["State", "County", "City"][i % 3]))
+            .map(|i| {
+                format!(
+                    "Lexington {} Archive box {i}",
+                    ["State", "County", "City"][i % 3]
+                )
+            })
             .collect();
         let right: Vec<String> = (0..30)
-            .map(|i| format!("Lexington {} Archive box {i} copy", ["State", "County", "City"][i % 3]))
+            .map(|i| {
+                format!(
+                    "Lexington {} Archive box {i} copy",
+                    ["State", "County", "City"][i % 3]
+                )
+            })
             .collect();
         let gt: Vec<Option<usize>> = (0..30).map(Some).collect();
         let (train, test) = train_test_split(right.len(), 0.5, 4);

@@ -72,7 +72,11 @@ pub trait SupervisedMatcher {
 
 /// Split the right records 50/50 into train and test indices,
 /// deterministically from a seed (the paper's supervised protocol).
-pub fn train_test_split(num_right: usize, train_fraction: f64, seed: u64) -> (Vec<usize>, Vec<usize>) {
+pub fn train_test_split(
+    num_right: usize,
+    train_fraction: f64,
+    seed: u64,
+) -> (Vec<usize>, Vec<usize>) {
     use rand::seq::SliceRandom;
     use rand::SeedableRng;
     let mut indices: Vec<usize> = (0..num_right).collect();
@@ -134,9 +138,21 @@ mod tests {
     #[test]
     fn best_per_right_keeps_max_score() {
         let preds = vec![
-            ScoredPrediction { right: 0, left: 1, score: 0.2 },
-            ScoredPrediction { right: 0, left: 2, score: 0.9 },
-            ScoredPrediction { right: 1, left: 0, score: 0.5 },
+            ScoredPrediction {
+                right: 0,
+                left: 1,
+                score: 0.2,
+            },
+            ScoredPrediction {
+                right: 0,
+                left: 2,
+                score: 0.9,
+            },
+            ScoredPrediction {
+                right: 1,
+                left: 0,
+                score: 0.5,
+            },
         ];
         let best = best_per_right(preds);
         assert_eq!(best.len(), 2);

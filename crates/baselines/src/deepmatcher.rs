@@ -34,7 +34,13 @@ fn record_embedding(s: &str) -> Embedding {
     embed::embed_document(s.to_lowercase().split_whitespace().map(|t| (t, 1.0)))
 }
 
-fn pair_features(fx: &FeatureExtractor, le: &Embedding, re: &Embedding, l: usize, r: usize) -> Vec<f64> {
+fn pair_features(
+    fx: &FeatureExtractor,
+    le: &Embedding,
+    re: &Embedding,
+    l: usize,
+    r: usize,
+) -> Vec<f64> {
     // Compress the 64-d embedding difference into 8 band summaries to keep
     // the model small (DeepMatcher's attention summarizer plays this role).
     let mut out = Vec::with_capacity(8 + 2 + crate::features::NUM_FEATURES);
@@ -118,7 +124,9 @@ mod tests {
 
     #[test]
     fn learns_something_with_enough_labels() {
-        let left: Vec<String> = (0..60).map(|i| format!("Dover Jazz Festival stage {i}")).collect();
+        let left: Vec<String> = (0..60)
+            .map(|i| format!("Dover Jazz Festival stage {i}"))
+            .collect();
         let right: Vec<String> = (0..30)
             .map(|i| format!("Dover Jazz Festival stage {i} (evening)"))
             .collect();

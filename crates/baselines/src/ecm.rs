@@ -33,7 +33,10 @@ pub fn fit_posteriors(binary: &[Vec<bool>], iterations: usize) -> Vec<f64> {
     }
     let d = binary[0].len();
     // Initialization: pairs with many active features are tentatively matches.
-    let activity: Vec<usize> = binary.iter().map(|b| b.iter().filter(|&&x| x).count()).collect();
+    let activity: Vec<usize> = binary
+        .iter()
+        .map(|b| b.iter().filter(|&&x| x).count())
+        .collect();
     let mut posteriors: Vec<f64> = activity
         .iter()
         .map(|&a| if a * 2 > d { 0.9 } else { 0.1 })
@@ -92,8 +95,7 @@ impl UnsupervisedMatcher for Ecm {
         }
         let fx = FeatureExtractor::build(left, right);
         let pairs: Vec<(usize, usize)> = cands.pairs().collect();
-        let raw: Vec<[f64; NUM_FEATURES]> =
-            pairs.iter().map(|&(r, l)| fx.features(l, r)).collect();
+        let raw: Vec<[f64; NUM_FEATURES]> = pairs.iter().map(|&(r, l)| fx.features(l, r)).collect();
         // Binarize each feature at its mean (paper: "binarized using the mean
         // value as the threshold").
         let mut means = [0.0f64; NUM_FEATURES];
@@ -133,18 +135,29 @@ mod tests {
         let mut rows = Vec::new();
         for i in 0..100 {
             let active = i < 30;
-            rows.push((0..6).map(|k| if active { k != i % 6 } else { k == i % 6 }).collect());
+            rows.push(
+                (0..6)
+                    .map(|k| if active { k != i % 6 } else { k == i % 6 })
+                    .collect(),
+            );
         }
         let post = fit_posteriors(&rows, 40);
         let avg_match: f64 = post[..30].iter().sum::<f64>() / 30.0;
         let avg_unmatch: f64 = post[30..].iter().sum::<f64>() / 70.0;
-        assert!(avg_match > avg_unmatch + 0.3, "{avg_match} vs {avg_unmatch}");
+        assert!(
+            avg_match > avg_unmatch + 0.3,
+            "{avg_match} vs {avg_unmatch}"
+        );
     }
 
     #[test]
     fn predict_scores_true_pairs_above_false_pairs() {
-        let left: Vec<String> = (0..40).map(|i| format!("Riverside {} Hospital unit {i}", i % 7)).collect();
-        let right: Vec<String> = (0..10).map(|i| format!("Riverside {} Hospital unit {i} annex", i % 7)).collect();
+        let left: Vec<String> = (0..40)
+            .map(|i| format!("Riverside {} Hospital unit {i}", i % 7))
+            .collect();
+        let right: Vec<String> = (0..10)
+            .map(|i| format!("Riverside {} Hospital unit {i} annex", i % 7))
+            .collect();
         let preds = Ecm::default().predict(&left, &right);
         assert!(!preds.is_empty());
         let correct = preds.iter().filter(|p| p.left == p.right).count();

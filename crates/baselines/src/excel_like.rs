@@ -11,7 +11,7 @@
 use crate::common::{CandidateSet, UnsupervisedMatcher};
 use autofj_eval::ScoredPrediction;
 use autofj_text::{
-    DistanceFunction, JoinFunction, PreparedColumn, Preprocessing, Tokenization, TokenWeighting,
+    DistanceFunction, JoinFunction, PreparedColumn, Preprocessing, TokenWeighting, Tokenization,
 };
 
 /// Excel-like weighted-hybrid matcher.
@@ -55,7 +55,10 @@ impl ExcelLike {
                 TokenWeighting::Idf,
                 DistanceFunction::Jaccard,
             ),
-            JoinFunction::char_based(Preprocessing::LowerRemovePunct, DistanceFunction::JaroWinkler),
+            JoinFunction::char_based(
+                Preprocessing::LowerRemovePunct,
+                DistanceFunction::JaroWinkler,
+            ),
             JoinFunction::char_based(Preprocessing::LowerRemovePunct, DistanceFunction::Edit),
         ]
     }
@@ -91,8 +94,12 @@ impl UnsupervisedMatcher for ExcelLike {
             let mut best: Option<ScoredPrediction> = None;
             for &l in ls {
                 let score = self.score(&col, l, left.len() + r);
-                if best.map_or(true, |b| score > b.score) {
-                    best = Some(ScoredPrediction { right: r, left: l, score });
+                if best.is_none_or(|b| score > b.score) {
+                    best = Some(ScoredPrediction {
+                        right: r,
+                        left: l,
+                        score,
+                    });
                 }
             }
             if let Some(b) = best {

@@ -7,7 +7,7 @@
 //! plus simple length statistics.
 
 use autofj_text::{
-    DistanceFunction, JoinFunction, PreparedColumn, Preprocessing, Tokenization, TokenWeighting,
+    DistanceFunction, JoinFunction, PreparedColumn, Preprocessing, TokenWeighting, Tokenization,
 };
 
 /// Number of features produced per pair.
@@ -79,12 +79,20 @@ impl FeatureExtractor {
         let ls = &self.column.record(l).raw;
         let rs = &self.column.record(rr).raw;
         let (la, lb) = (ls.chars().count() as f64, rs.chars().count() as f64);
-        out[8] = if la.max(lb) == 0.0 { 1.0 } else { la.min(lb) / la.max(lb) };
+        out[8] = if la.max(lb) == 0.0 {
+            1.0
+        } else {
+            la.min(lb) / la.max(lb)
+        };
         let (ta, tb) = (
             ls.split_whitespace().count() as f64,
             rs.split_whitespace().count() as f64,
         );
-        out[9] = if ta.max(tb) == 0.0 { 1.0 } else { ta.min(tb) / ta.max(tb) };
+        out[9] = if ta.max(tb) == 0.0 {
+            1.0
+        } else {
+            ta.min(tb) / ta.max(tb)
+        };
         out
     }
 }

@@ -77,8 +77,12 @@ impl UnsupervisedMatcher for FuzzyWuzzy {
             let mut best: Option<ScoredPrediction> = None;
             for &l in ls {
                 let score = wratio(&left[l], &right[r]);
-                if best.map_or(true, |b| score > b.score) {
-                    best = Some(ScoredPrediction { right: r, left: l, score });
+                if best.is_none_or(|b| score > b.score) {
+                    best = Some(ScoredPrediction {
+                        right: r,
+                        left: l,
+                        score,
+                    });
                 }
             }
             if let Some(b) = best {

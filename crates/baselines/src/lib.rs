@@ -36,7 +36,9 @@ pub mod static_best;
 pub mod zeroer;
 
 pub use active_learning::ActiveLearning;
-pub use common::{best_per_right, train_test_split, CandidateSet, SupervisedMatcher, UnsupervisedMatcher};
+pub use common::{
+    best_per_right, train_test_split, CandidateSet, SupervisedMatcher, UnsupervisedMatcher,
+};
 pub use deepmatcher::DeepMatcherSub;
 pub use ecm::Ecm;
 pub use excel_like::ExcelLike;

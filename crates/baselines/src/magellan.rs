@@ -115,10 +115,20 @@ mod tests {
 
     fn task() -> (Vec<String>, Vec<String>, Vec<Option<usize>>) {
         let left: Vec<String> = (0..60)
-            .map(|i| format!("Fairview {} Bistro table {i}", ["Thai", "Greek", "Korean"][i % 3]))
+            .map(|i| {
+                format!(
+                    "Fairview {} Bistro table {i}",
+                    ["Thai", "Greek", "Korean"][i % 3]
+                )
+            })
             .collect();
         let right: Vec<String> = (0..30)
-            .map(|i| format!("Fairview {} Bistro table {i} (patio)", ["Thai", "Greek", "Korean"][i % 3]))
+            .map(|i| {
+                format!(
+                    "Fairview {} Bistro table {i} (patio)",
+                    ["Thai", "Greek", "Korean"][i % 3]
+                )
+            })
             .collect();
         let gt: Vec<Option<usize>> = (0..30).map(Some).collect();
         (left, right, gt)

@@ -67,12 +67,7 @@ fn gini(pos: f64, total: f64) -> f64 {
     2.0 * p * (1.0 - p)
 }
 
-fn build_node(
-    samples: &[&Sample],
-    params: &TreeParams,
-    depth: usize,
-    rng: &mut SmallRng,
-) -> Node {
+fn build_node(samples: &[&Sample], params: &TreeParams, depth: usize, rng: &mut SmallRng) -> Node {
     let total = samples.len() as f64;
     let pos = samples.iter().filter(|s| s.label).count() as f64;
     let prob = if total == 0.0 { 0.5 } else { pos / total };
@@ -125,7 +120,7 @@ fn build_node(
             }
             let weighted = (lt / total) * gini(lp, lt) + (rt / total) * gini(rp, rt);
             let gain = parent_gini - weighted;
-            if best.map_or(true, |(_, _, g)| gain > g) {
+            if best.is_none_or(|(_, _, g)| gain > g) {
                 best = Some((f, threshold, gain));
             }
         }
@@ -208,7 +203,7 @@ impl RandomForest {
                 let boot: Vec<Sample> = (0..samples.len())
                     .map(|_| samples[rng.gen_range(0..samples.len())].clone())
                     .collect();
-                DecisionTree::fit(&boot, params, seed ^ (t as u64 + 1) * 0x9E37)
+                DecisionTree::fit(&boot, params, seed ^ ((t as u64 + 1) * 0x9E37))
             })
             .collect();
         Self { trees }

@@ -126,7 +126,7 @@ impl PpJoin {
                     continue;
                 }
                 let sim = jaccard(lids, ids);
-                if best.map_or(true, |bst| sim > bst.score) {
+                if best.is_none_or(|bst| sim > bst.score) {
                     best = Some(ScoredPrediction {
                         right: r,
                         left: l as usize,
@@ -158,7 +158,9 @@ mod tests {
 
     #[test]
     fn exact_duplicates_found_with_similarity_one() {
-        let left: Vec<String> = (0..50).map(|i| format!("entity record number {i}")).collect();
+        let left: Vec<String> = (0..50)
+            .map(|i| format!("entity record number {i}"))
+            .collect();
         let right = vec![left[17].clone()];
         let preds = PpJoin::default().predict(&left, &right);
         assert_eq!(preds.len(), 1);

@@ -40,8 +40,12 @@ impl UnsupervisedMatcher for StaticJoinFunction {
             let mut best: Option<ScoredPrediction> = None;
             for &l in ls {
                 let score = 1.0 - self.function.distance(&col, l, left.len() + r);
-                if best.map_or(true, |b| score > b.score) {
-                    best = Some(ScoredPrediction { right: r, left: l, score });
+                if best.is_none_or(|b| score > b.score) {
+                    best = Some(ScoredPrediction {
+                        right: r,
+                        left: l,
+                        score,
+                    });
                 }
             }
             if let Some(b) = best {
@@ -55,7 +59,7 @@ impl UnsupervisedMatcher for StaticJoinFunction {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autofj_text::{DistanceFunction, Preprocessing, Tokenization, TokenWeighting};
+    use autofj_text::{DistanceFunction, Preprocessing, TokenWeighting, Tokenization};
 
     #[test]
     fn static_jaccard_matches_obvious_pair() {

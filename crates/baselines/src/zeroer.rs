@@ -36,9 +36,16 @@ pub fn fit_gmm_posteriors(rows: &[Vec<f64>], iterations: usize) -> Vec<f64> {
     let d = rows[0].len();
     // Initialize responsibilities from the mean feature value: top rows are
     // tentative matches.
-    let avg: Vec<f64> = rows.iter().map(|r| r.iter().sum::<f64>() / d as f64).collect();
+    let avg: Vec<f64> = rows
+        .iter()
+        .map(|r| r.iter().sum::<f64>() / d as f64)
+        .collect();
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&a, &b| avg[b].partial_cmp(&avg[a]).unwrap_or(std::cmp::Ordering::Equal));
+    order.sort_by(|&a, &b| {
+        avg[b]
+            .partial_cmp(&avg[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let top = (n / 5).max(1);
     let mut resp: Vec<f64> = vec![0.1; n];
     for &i in order.iter().take(top) {
@@ -150,13 +157,20 @@ mod tests {
         let hi: f64 = post[..60].iter().sum::<f64>() / 60.0;
         let lo: f64 = post[60..].iter().sum::<f64>() / 140.0;
         assert!(hi > 0.8, "high-similarity rows should be matches, got {hi}");
-        assert!(lo < 0.2, "low-similarity rows should be non-matches, got {lo}");
+        assert!(
+            lo < 0.2,
+            "low-similarity rows should be non-matches, got {lo}"
+        );
     }
 
     #[test]
     fn predict_prefers_true_counterparts() {
-        let left: Vec<String> = (0..40).map(|i| format!("Kingston {} Gallery hall {i}", i % 5)).collect();
-        let right: Vec<String> = (0..10).map(|i| format!("Kingston {} Gallery hall {i} east", i % 5)).collect();
+        let left: Vec<String> = (0..40)
+            .map(|i| format!("Kingston {} Gallery hall {i}", i % 5))
+            .collect();
+        let right: Vec<String> = (0..10)
+            .map(|i| format!("Kingston {} Gallery hall {i} east", i % 5))
+            .collect();
         let preds = ZeroEr::default().predict(&left, &right);
         let correct = preds.iter().filter(|p| p.left == p.right).count();
         assert!(correct >= 7, "only {correct}/10 correct");

@@ -25,7 +25,9 @@ fn bench_ball_modes(c: &mut Criterion) {
         options.num_thresholds,
     );
     let mut group = c.benchmark_group("ablation_ball_mode");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for (name, mode) in [
         ("config_theta_eq9", BallMode::ConfigTheta),
         ("pair_distance_eq8", BallMode::PairDistance),

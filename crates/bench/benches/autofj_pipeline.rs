@@ -17,9 +17,18 @@ fn bench_pipeline(c: &mut Criterion) {
     let space24 = JoinFunctionSpace::reduced24();
 
     let mut group = c.benchmark_group("autofj_pipeline");
-    group.sample_size(10).measurement_time(Duration::from_secs(5));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(5));
     group.bench_function("end_to_end_24_configs", |b| {
-        b.iter(|| black_box(join_single_column(&task.left, &task.right, &space24, &options)))
+        b.iter(|| {
+            black_box(join_single_column(
+                &task.left,
+                &task.right,
+                &space24,
+                &options,
+            ))
+        })
     });
 
     // Components: pre-compute vs greedy (Figure 7(d)'s decomposition).

@@ -12,7 +12,9 @@ use std::time::Duration;
 fn bench_baselines(c: &mut Criterion) {
     let task = benchmark_specs(BenchmarkScale::Tiny)[36].generate();
     let mut group = c.benchmark_group("baselines");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("excel_like", |b| {
         b.iter(|| black_box(ExcelLike::default().predict(&task.left, &task.right)))
     });

@@ -8,7 +8,9 @@ use std::time::Duration;
 fn bench_blocking(c: &mut Criterion) {
     let task = benchmark_specs(BenchmarkScale::Small)[19].generate(); // HistoricBuilding
     let mut group = c.benchmark_group("blocking");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     for beta in [0.5, 1.5, 3.0] {
         group.bench_function(format!("beta_{beta}"), |b| {
             b.iter(|| black_box(Blocker::with_factor(beta).block(&task.left, &task.right)))

@@ -2,7 +2,7 @@
 //! family of Table 1).
 
 use autofj_text::{
-    DistanceFunction, JoinFunction, PreparedColumn, Preprocessing, Tokenization, TokenWeighting,
+    DistanceFunction, JoinFunction, PreparedColumn, Preprocessing, TokenWeighting, Tokenization,
 };
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::time::Duration;
@@ -25,8 +25,14 @@ fn sample_column() -> PreparedColumn {
 fn bench_distances(c: &mut Criterion) {
     let col = sample_column();
     let functions = [
-        ("edit", JoinFunction::char_based(Preprocessing::Lower, DistanceFunction::Edit)),
-        ("jaro_winkler", JoinFunction::char_based(Preprocessing::Lower, DistanceFunction::JaroWinkler)),
+        (
+            "edit",
+            JoinFunction::char_based(Preprocessing::Lower, DistanceFunction::Edit),
+        ),
+        (
+            "jaro_winkler",
+            JoinFunction::char_based(Preprocessing::Lower, DistanceFunction::JaroWinkler),
+        ),
         (
             "jaccard_space_ew",
             JoinFunction::set_based(
@@ -57,7 +63,9 @@ fn bench_distances(c: &mut Criterion) {
         ("embedding", JoinFunction::embedding(Preprocessing::Lower)),
     ];
     let mut group = c.benchmark_group("distances_200_pairs");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for (name, f) in functions {
         group.bench_function(name, |b| {
             b.iter(|| {
@@ -72,7 +80,9 @@ fn bench_distances(c: &mut Criterion) {
     group.finish();
 
     let mut group = c.benchmark_group("prepare_column");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("build_200_records", |b| b.iter(sample_column));
     group.finish();
 }

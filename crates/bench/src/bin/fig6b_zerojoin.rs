@@ -5,9 +5,9 @@
 //! positive, and reports the false-positive rate (joins / |R|) of AutoFJ and
 //! of the Excel baseline thresholded at its default similarity.
 
+use autofj_baselines::{ExcelLike, UnsupervisedMatcher};
 use autofj_bench::runner::{autofj_options, run_autofj};
 use autofj_bench::{env_scale, env_space, write_json, Reporter};
-use autofj_baselines::{ExcelLike, UnsupervisedMatcher};
 use autofj_datagen::adversarial::unrelated_pair;
 use autofj_datagen::benchmark_specs;
 use serde::Serialize;
@@ -51,8 +51,8 @@ fn main() {
         let autofj_fp = result.num_joined() as f64 / task.right.len() as f64;
         // Excel baseline: join everything above a fixed default similarity.
         let excel_preds = ExcelLike::default().predict(&task.left, &task.right);
-        let excel_fp = excel_preds.iter().filter(|p| p.score >= 0.6).count() as f64
-            / task.right.len() as f64;
+        let excel_fp =
+            excel_preds.iter().filter(|p| p.score >= 0.6).count() as f64 / task.right.len() as f64;
         reporter.add_metric_row(&task.name, &[autofj_fp, excel_fp]);
         cases.push(Case {
             pair: task.name.clone(),

@@ -3,9 +3,9 @@
 //! Removes an increasing fraction of `L` records and reports AutoFJ's
 //! average precision/recall versus the Excel baseline's adjusted recall.
 
+use autofj_baselines::ExcelLike;
 use autofj_bench::runner::{autofj_options, run_autofj, run_unsupervised};
 use autofj_bench::{env_scale, env_space, env_task_limit, write_json, Reporter};
-use autofj_baselines::ExcelLike;
 use autofj_datagen::adversarial::sparsify_reference;
 use autofj_datagen::benchmark_specs;
 use serde::Serialize;
@@ -51,7 +51,11 @@ fn main() {
         };
         reporter.add_metric_row(
             &format!("{:.0}%", fraction * 100.0),
-            &[point.autofj_precision, point.autofj_recall, point.excel_adjusted_recall],
+            &[
+                point.autofj_precision,
+                point.autofj_recall,
+                point.excel_adjusted_recall,
+            ],
         );
         points.push(point);
     }

@@ -5,9 +5,9 @@
 //! The correlation between target and achieved precision is the headline
 //! statistic (0.9939 in the paper).
 
+use autofj_baselines::ExcelLike;
 use autofj_bench::runner::{autofj_options, pearson, run_autofj, run_unsupervised};
 use autofj_bench::{env_scale, env_space, env_task_limit, write_json, Reporter};
-use autofj_baselines::ExcelLike;
 use autofj_core::AutoFjOptions;
 use autofj_datagen::benchmark_specs;
 use serde::Serialize;

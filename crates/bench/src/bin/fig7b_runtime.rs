@@ -4,12 +4,11 @@
 //! time of AutoFJ and of every baseline per bucket (the paper's grouping into
 //! 5 size buckets).
 
+use autofj_baselines::{
+    ActiveLearning, DeepMatcherSub, Ecm, ExcelLike, FuzzyWuzzy, MagellanRf, PpJoin, ZeroEr,
+};
 use autofj_bench::runner::{autofj_options, run_autofj, run_supervised, run_unsupervised};
 use autofj_bench::{env_scale, env_space, env_task_limit, write_json, Reporter};
-use autofj_baselines::{
-    ActiveLearning, DeepMatcherSub, Ecm, ExcelLike, FuzzyWuzzy, MagellanRf, PpJoin,
-    ZeroEr,
-};
 use autofj_datagen::benchmark_specs;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -44,7 +43,9 @@ fn main() {
     };
     for task in &tasks {
         eprintln!("[fig7b] timing {}", task.name);
-        let b = buckets.entry(bucket_of(task.left.len() * task.right.len())).or_default();
+        let b = buckets
+            .entry(bucket_of(task.left.len() * task.right.len()))
+            .or_default();
         b.tasks += 1;
         let (_r, _q, _c, s) = run_autofj(task, &space, &options);
         b.autofj += s;
@@ -59,7 +60,10 @@ fn main() {
     }
     let mut reporter = Reporter::new(
         "Figure 7(b): average running time (seconds) by |L|×|R| bucket",
-        &["Bucket", "#tasks", "AutoFJ", "Excel", "FW", "ZeroER", "ECM", "PP", "Magellan", "DM", "AL"],
+        &[
+            "Bucket", "#tasks", "AutoFJ", "Excel", "FW", "ZeroER", "ECM", "PP", "Magellan", "DM",
+            "AL",
+        ],
     );
     for (bucket, b) in &buckets {
         let n = b.tasks.max(1) as f64;
@@ -78,6 +82,9 @@ fn main() {
         ]);
     }
     reporter.print();
-    let path = write_json("fig7b_runtime", &buckets.values().cloned().collect::<Vec<_>>());
+    let path = write_json(
+        "fig7b_runtime",
+        &buckets.values().cloned().collect::<Vec<_>>(),
+    );
     println!("JSON written to {}", path.display());
 }

@@ -6,9 +6,9 @@
 //! pipeline components (blocking + distances + precision pre-compute vs.
 //! greedy search) at each space size.
 
+use autofj_baselines::{ExcelLike, MagellanRf};
 use autofj_bench::runner::{autofj_options, run_autofj, run_supervised, run_unsupervised};
 use autofj_bench::{env_scale, env_task_limit, write_json, Reporter};
-use autofj_baselines::{ExcelLike, MagellanRf};
 use autofj_datagen::benchmark_specs;
 use autofj_text::JoinFunctionSpace;
 use serde::Serialize;
@@ -32,7 +32,15 @@ fn main() {
     let options = autofj_options();
     let mut reporter = Reporter::new(
         "Figure 7(c,d): varying the configuration-space size",
-        &["|S|", "P", "R", "Excel AR", "Magellan AR", "precompute s", "greedy s"],
+        &[
+            "|S|",
+            "P",
+            "R",
+            "Excel AR",
+            "Magellan AR",
+            "precompute s",
+            "greedy s",
+        ],
     );
     let mut points = Vec::new();
     for space in JoinFunctionSpace::standard_subspaces() {

@@ -9,8 +9,8 @@
 //! Reduce runtime with `AUTOFJ_TASKS=<n>`, `AUTOFJ_SCALE=tiny` or
 //! `AUTOFJ_SPACE=24`.
 
-use autofj_bench::{autofj_options, env_scale, env_space, env_task_limit, write_json, Reporter};
 use autofj_bench::runner::run_full_comparison;
+use autofj_bench::{autofj_options, env_scale, env_space, env_task_limit, write_json, Reporter};
 use autofj_datagen::benchmark_specs;
 
 fn main() {
@@ -22,15 +22,35 @@ fn main() {
     let mut reporter = Reporter::new(
         "Table 2: single-column fuzzy join quality (adjusted recall at AutoFJ's precision)",
         &[
-            "Dataset", "Size(L-R)", "UBR", "PEPCC", "AutoFJ-P", "AutoFJ-R", "Excel", "FW",
-            "ZeroER", "ECM", "PP", "Magellan", "DM", "AL", "AutoFJ-UC", "AutoFJ-NR", "sec",
+            "Dataset",
+            "Size(L-R)",
+            "UBR",
+            "PEPCC",
+            "AutoFJ-P",
+            "AutoFJ-R",
+            "Excel",
+            "FW",
+            "ZeroER",
+            "ECM",
+            "PP",
+            "Magellan",
+            "DM",
+            "AL",
+            "AutoFJ-UC",
+            "AutoFJ-NR",
+            "sec",
         ],
     );
 
     let mut outcomes = Vec::new();
     for spec in specs.iter().take(limit) {
         let task = spec.generate();
-        eprintln!("[table2] running {} (|L|={}, |R|={})", task.name, task.left.len(), task.right.len());
+        eprintln!(
+            "[table2] running {} (|L|={}, |R|={})",
+            task.name,
+            task.left.len(),
+            task.right.len()
+        );
         let outcome = run_full_comparison(&task, &space, &options, true, true);
         let get = |name: &str| {
             outcome
@@ -64,9 +84,8 @@ fn main() {
 
     // Averages row.
     let n = outcomes.len().max(1) as f64;
-    let avg = |f: &dyn Fn(&autofj_bench::TaskOutcome) -> f64| {
-        outcomes.iter().map(f).sum::<f64>() / n
-    };
+    let avg =
+        |f: &dyn Fn(&autofj_bench::TaskOutcome) -> f64| outcomes.iter().map(f).sum::<f64>() / n;
     let avg_baseline = |name: &str| {
         outcomes
             .iter()

@@ -6,12 +6,12 @@
 //! all-columns-concatenated input (the paper's protocol for Excel/FW/PP) and
 //! of the supervised baselines.
 
-use autofj_bench::runner::{autofj_options, run_supervised, run_unsupervised};
-use autofj_bench::{env_space, write_json, Reporter};
 use autofj_baselines::{
     ActiveLearning, DeepMatcherSub, Ecm, ExcelLike, FuzzyWuzzy, MagellanRf, PpJoin,
     SupervisedMatcher, UnsupervisedMatcher, ZeroEr,
 };
+use autofj_bench::runner::{autofj_options, run_supervised, run_unsupervised};
+use autofj_bench::{env_space, write_json, Reporter};
 use autofj_core::multi_column::join_multi_column;
 use autofj_datagen::{generate_multi_column_benchmark, SingleColumnTask};
 use autofj_eval::evaluate_assignment;
@@ -44,13 +44,32 @@ fn main() {
     let mut reporter = Reporter::new(
         "Table 4(a): multi-column fuzzy join quality",
         &[
-            "Dataset", "Domain", "#Attr", "Size(L-R)", "#Match", "Columns(weights)", "P", "R",
-            "Excel", "FW", "ZeroER", "ECM", "PP", "Magellan", "DM", "AL", "sec",
+            "Dataset",
+            "Domain",
+            "#Attr",
+            "Size(L-R)",
+            "#Match",
+            "Columns(weights)",
+            "P",
+            "R",
+            "Excel",
+            "FW",
+            "ZeroER",
+            "ECM",
+            "PP",
+            "Magellan",
+            "DM",
+            "AL",
+            "sec",
         ],
     );
     let mut rows = Vec::new();
     for task in &tasks {
-        eprintln!("[table4] running {} ({} columns)", task.name, task.left.num_columns());
+        eprintln!(
+            "[table4] running {} ({} columns)",
+            task.name,
+            task.left.num_columns()
+        );
         let start = Instant::now();
         let result = join_multi_column(&task.left, &task.right, &space, &options);
         let seconds = start.elapsed().as_secs_f64();

@@ -5,9 +5,9 @@
 //! Excel and AL (the baselines the paper compares against).  A robust column
 //! selector should show ΔR ≈ 0.
 
+use autofj_baselines::{ActiveLearning, ExcelLike};
 use autofj_bench::runner::{autofj_options, run_supervised, run_unsupervised};
 use autofj_bench::{env_space, write_json, Reporter};
-use autofj_baselines::{ActiveLearning, ExcelLike};
 use autofj_core::multi_column::join_multi_column;
 use autofj_datagen::adversarial::add_random_columns;
 use autofj_datagen::{generate_multi_column_benchmark, MultiColumnTask, SingleColumnTask};

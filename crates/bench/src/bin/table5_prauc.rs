@@ -4,12 +4,12 @@
 //! (higher target ⇒ higher-confidence joins), mirroring how the paper
 //! computes a PR curve for a method that otherwise outputs a single join.
 
-use autofj_bench::runner::{autofj_options, run_autofj};
-use autofj_bench::{env_scale, env_space, env_task_limit, write_json, Reporter};
 use autofj_baselines::{
     ActiveLearning, DeepMatcherSub, Ecm, ExcelLike, FuzzyWuzzy, MagellanRf, PpJoin,
     SupervisedMatcher, UnsupervisedMatcher, ZeroEr,
 };
+use autofj_bench::runner::{autofj_options, run_autofj};
+use autofj_bench::{env_scale, env_space, env_task_limit, write_json, Reporter};
 use autofj_datagen::benchmark_specs;
 use autofj_eval::{pr_auc, ScoredPrediction};
 use serde::Serialize;
@@ -60,7 +60,9 @@ fn main() {
     let limit = env_task_limit().min(specs.len());
     let mut reporter = Reporter::new(
         "Table 5: PR-AUC on single-column datasets",
-        &["Dataset", "AutoFJ", "Excel", "FW", "ZeroER", "ECM", "PP", "Magellan", "DM", "AL"],
+        &[
+            "Dataset", "AutoFJ", "Excel", "FW", "ZeroER", "ECM", "PP", "Magellan", "DM", "AL",
+        ],
     );
     let mut rows = Vec::new();
     for spec in specs.iter().take(limit) {
@@ -73,7 +75,13 @@ fn main() {
         let (train, _) = autofj_baselines::train_test_split(task.right.len(), 0.5, 0xC0FFEE);
         let su = |m: &dyn SupervisedMatcher| {
             pr_auc(
-                &m.fit_predict(&task.left, &task.right, &task.ground_truth, &train, 0xC0FFEE),
+                &m.fit_predict(
+                    &task.left,
+                    &task.right,
+                    &task.ground_truth,
+                    &train,
+                    0xC0FFEE,
+                ),
                 &task.ground_truth,
             )
         };
@@ -92,7 +100,14 @@ fn main() {
         reporter.add_metric_row(
             &row.task.clone(),
             &[
-                row.autofj, row.excel, row.fw, row.zeroer, row.ecm, row.pp, row.magellan, row.dm,
+                row.autofj,
+                row.excel,
+                row.fw,
+                row.zeroer,
+                row.ecm,
+                row.pp,
+                row.magellan,
+                row.dm,
                 row.al,
             ],
         );

@@ -38,7 +38,12 @@ fn main() {
         let (_rf, qf, _, _) = run_autofj(&task, &full, &options);
         reporter.add_metric_row(
             &task.name,
-            &[q24.precision, q24.recall_relative, qf.precision, qf.recall_relative],
+            &[
+                q24.precision,
+                q24.recall_relative,
+                qf.precision,
+                qf.recall_relative,
+            ],
         );
         rows.push(Row {
             task: task.name.clone(),

@@ -1,11 +1,11 @@
 //! Table 7 — PR-AUC on the multi-column datasets.
 
-use autofj_bench::runner::autofj_options;
-use autofj_bench::{env_space, write_json, Reporter};
 use autofj_baselines::{
     ActiveLearning, DeepMatcherSub, Ecm, ExcelLike, FuzzyWuzzy, MagellanRf, PpJoin,
     SupervisedMatcher, UnsupervisedMatcher, ZeroEr,
 };
+use autofj_bench::runner::autofj_options;
+use autofj_bench::{env_space, write_json, Reporter};
 use autofj_core::multi_column::join_multi_column;
 use autofj_datagen::generate_multi_column_benchmark;
 use autofj_eval::{pr_auc, ScoredPrediction};
@@ -34,7 +34,9 @@ fn main() {
     let tasks = generate_multi_column_benchmark(scale, 0xBEEF);
     let mut reporter = Reporter::new(
         "Table 7: PR-AUC on multi-column datasets",
-        &["Dataset", "AutoFJ", "Excel", "FW", "ZeroER", "ECM", "PP", "Magellan", "DM", "AL"],
+        &[
+            "Dataset", "AutoFJ", "Excel", "FW", "ZeroER", "ECM", "PP", "Magellan", "DM", "AL",
+        ],
     );
     let mut rows = Vec::new();
     for task in &tasks {
@@ -63,7 +65,8 @@ fn main() {
 
         let left = task.left.concatenated_rows();
         let right = task.right.concatenated_rows();
-        let un = |m: &dyn UnsupervisedMatcher| pr_auc(&m.predict(&left, &right), &task.ground_truth);
+        let un =
+            |m: &dyn UnsupervisedMatcher| pr_auc(&m.predict(&left, &right), &task.ground_truth);
         let (train, _) = autofj_baselines::train_test_split(right.len(), 0.5, 0xC0FFEE);
         let su = |m: &dyn SupervisedMatcher| {
             pr_auc(
@@ -85,7 +88,17 @@ fn main() {
         };
         reporter.add_metric_row(
             &row.task.clone(),
-            &[row.autofj, row.excel, row.fw, row.zeroer, row.ecm, row.pp, row.magellan, row.dm, row.al],
+            &[
+                row.autofj,
+                row.excel,
+                row.fw,
+                row.zeroer,
+                row.ecm,
+                row.pp,
+                row.magellan,
+                row.dm,
+                row.al,
+            ],
         );
         rows.push(row);
     }

@@ -23,6 +23,4 @@ pub mod report;
 pub mod runner;
 
 pub use report::{write_json, Reporter};
-pub use runner::{
-    autofj_options, env_scale, env_space, env_task_limit, MethodScores, TaskOutcome,
-};
+pub use runner::{autofj_options, env_scale, env_space, env_task_limit, MethodScores, TaskOutcome};

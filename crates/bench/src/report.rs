@@ -78,10 +78,9 @@ impl Reporter {
 
 /// Write a serializable result object to `target/experiments/<name>.json`.
 pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
-    let dir = PathBuf::from(
-        std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()),
-    )
-    .join("experiments");
+    let dir =
+        PathBuf::from(std::env::var("CARGO_TARGET_DIR").unwrap_or_else(|_| "target".to_string()))
+            .join("experiments");
     let _ = fs::create_dir_all(&dir);
     let path = dir.join(format!("{name}.json"));
     if let Ok(json) = serde_json::to_string_pretty(value) {

@@ -60,7 +60,11 @@ pub fn autofj_options() -> AutoFjOptions {
 
 /// Read the benchmark scale from `AUTOFJ_SCALE` (tiny | small | full).
 pub fn env_scale() -> autofj_datagen::BenchmarkScale {
-    match std::env::var("AUTOFJ_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("AUTOFJ_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "tiny" => autofj_datagen::BenchmarkScale::Tiny,
         "full" => autofj_datagen::BenchmarkScale::Full,
         _ => autofj_datagen::BenchmarkScale::Small,
@@ -77,7 +81,10 @@ pub fn env_task_limit() -> usize {
 
 /// Read the configuration-space size from `AUTOFJ_SPACE` (24 | 38 | 70 | 140).
 pub fn env_space() -> JoinFunctionSpace {
-    match std::env::var("AUTOFJ_SPACE").ok().and_then(|s| s.parse::<usize>().ok()) {
+    match std::env::var("AUTOFJ_SPACE")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+    {
         Some(24) => JoinFunctionSpace::reduced24(),
         Some(38) => JoinFunctionSpace::reduced38(),
         Some(70) => JoinFunctionSpace::reduced70(),
@@ -115,8 +122,7 @@ pub fn run_autofj(
     options: &AutoFjOptions,
 ) -> (JoinResult, QualityReport, f64, f64) {
     let start = Instant::now();
-    let result =
-        autofj_core::single::join_single_column(&task.left, &task.right, space, options);
+    let result = autofj_core::single::join_single_column(&task.left, &task.right, space, options);
     let seconds = start.elapsed().as_secs_f64();
     let quality = evaluate_assignment(&result.assignment, &task.ground_truth);
     // PEPCC: correlation between the estimated precision trace and the actual
@@ -160,8 +166,7 @@ pub fn run_supervised(
     target_precision: f64,
     seed: u64,
 ) -> MethodScores {
-    let (train, _test) =
-        autofj_baselines::train_test_split(task.right.len(), 0.5, seed);
+    let (train, _test) = autofj_baselines::train_test_split(task.right.len(), 0.5, seed);
     let start = Instant::now();
     let preds = matcher.fit_predict(&task.left, &task.right, &task.ground_truth, &train, seed);
     let seconds = start.elapsed().as_secs_f64();
@@ -204,24 +209,14 @@ pub fn run_full_comparison(
     let zeroer = ZeroEr::default();
     let ecm = Ecm::default();
     let pp = PpJoin::default();
-    for m in [
-        &excel as &dyn UnsupervisedMatcher,
-        &fw,
-        &zeroer,
-        &ecm,
-        &pp,
-    ] {
+    for m in [&excel as &dyn UnsupervisedMatcher, &fw, &zeroer, &ecm, &pp] {
         baselines.push(run_unsupervised(m, task, target));
     }
     if include_supervised {
         let magellan = MagellanRf::default();
         let dm = DeepMatcherSub::default();
         let al = ActiveLearning::default();
-        for m in [
-            &magellan as &dyn SupervisedMatcher,
-            &dm,
-            &al,
-        ] {
+        for m in [&magellan as &dyn SupervisedMatcher, &dm, &al] {
             baselines.push(run_supervised(m, task, target, 0xC0FFEE));
         }
     }

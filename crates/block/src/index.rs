@@ -191,9 +191,13 @@ mod tests {
     fn teams() -> Vec<String> {
         (2000..2040)
             .flat_map(|year| {
-                ["LSU Tigers football", "Wisconsin Badgers football", "Alabama Crimson Tide"]
-                    .iter()
-                    .map(move |t| format!("{year} {t} team"))
+                [
+                    "LSU Tigers football",
+                    "Wisconsin Badgers football",
+                    "Alabama Crimson Tide",
+                ]
+                .iter()
+                .map(move |t| format!("{year} {t} team"))
             })
             .collect()
     }
@@ -250,9 +254,7 @@ mod tests {
         let right = vec!["2005 LSU Tigers football team".to_string()];
         let small = Blocker::with_factor(0.5).block(&left, &right);
         let large = Blocker::with_factor(3.0).block(&left, &right);
-        assert!(
-            large.left_candidates_of_right[0].len() >= small.left_candidates_of_right[0].len()
-        );
+        assert!(large.left_candidates_of_right[0].len() >= small.left_candidates_of_right[0].len());
     }
 
     #[test]

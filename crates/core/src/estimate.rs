@@ -106,8 +106,7 @@ impl FunctionStats {
     /// Number of right records joined under threshold `theta` (i.e. whose
     /// nearest distance is ≤ `theta`).
     pub fn joined_count(&self, theta: f32) -> usize {
-        self.sorted_rights
-            .partition_point(|&(_, d)| d <= theta)
+        self.sorted_rights.partition_point(|&(_, d)| d <= theta)
     }
 
     /// The per-pair precision estimate for the right record at `rank` within
@@ -127,7 +126,9 @@ impl FunctionStats {
     pub fn precision_at_rank(&self, rank: usize, theta: f32, mode: BallMode) -> f64 {
         const BOUNDARY_EPS: f64 = 1e-6;
         let (r, d) = self.sorted_rights[rank];
-        let l = self.nearest[r as usize].expect("rank refers to a joined right record").0;
+        let l = self.nearest[r as usize]
+            .expect("rank refers to a joined right record")
+            .0;
         let radius = match mode {
             BallMode::ConfigTheta => 2.0 * theta as f64,
             BallMode::PairDistance => 2.0 * d as f64,
@@ -211,7 +212,9 @@ impl Precompute {
 mod tests {
     use super::*;
     use crate::oracle::SingleColumnOracle;
-    use autofj_text::{DistanceFunction, JoinFunction, Preprocessing, Tokenization, TokenWeighting};
+    use autofj_text::{
+        DistanceFunction, JoinFunction, Preprocessing, TokenWeighting, Tokenization,
+    };
 
     fn jaccard_space() -> Vec<JoinFunction> {
         vec![JoinFunction::set_based(
@@ -332,10 +335,7 @@ mod tests {
         let (lr, ll) = all_candidates(left.len(), right.len());
         let stats = FunctionStats::build(0, &oracle, &lr, &ll, 7);
         assert!(stats.thresholds.len() <= 7);
-        assert!(stats
-            .thresholds
-            .windows(2)
-            .all(|w| w[0] < w[1]));
+        assert!(stats.thresholds.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]
@@ -350,7 +350,6 @@ mod tests {
         assert_eq!(pre.num_candidate_configs(), 0);
     }
 
-
     #[test]
     fn exact_duplicate_reference_values_are_never_safe() {
         // A "categorical" column: many reference records share the same value,
@@ -359,7 +358,13 @@ mod tests {
         // estimated precision must be low (Appendix A's under-specification
         // argument: such a join cannot be trusted).
         let left: Vec<String> = (0..10)
-            .map(|i| if i < 5 { "2008".to_string() } else { format!("199{i}") })
+            .map(|i| {
+                if i < 5 {
+                    "2008".to_string()
+                } else {
+                    format!("199{i}")
+                }
+            })
             .collect();
         let right = vec!["2008".to_string()];
         let fns = jaccard_space();

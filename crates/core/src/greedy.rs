@@ -292,7 +292,7 @@ mod tests {
     use super::*;
     use crate::oracle::SingleColumnOracle;
     use autofj_text::{
-        DistanceFunction, JoinFunction, Preprocessing, Tokenization, TokenWeighting,
+        DistanceFunction, JoinFunction, Preprocessing, TokenWeighting, Tokenization,
     };
 
     fn space() -> Vec<JoinFunction> {
@@ -377,8 +377,7 @@ mod tests {
                 } else {
                     // Ambiguous: remove the team so that several records are
                     // plausible counterparts.
-                    s.split_whitespace().take(1).collect::<Vec<_>>().join(" ")
-                        + " football team"
+                    s.split_whitespace().take(1).collect::<Vec<_>>().join(" ") + " football team"
                 }
             })
             .collect();

@@ -51,12 +51,8 @@ pub fn join_multi_column(
         return JoinResult::empty(right.len(), column_names, vec![0.0; m]);
     }
     if m == 1 {
-        let mut r = crate::single::join_single_column(
-            left.values(),
-            right.values(),
-            space,
-            options,
-        );
+        let mut r =
+            crate::single::join_single_column(left.values(), right.values(), space, options);
         r.program.columns = column_names;
         r.program.column_weights = vec![1.0];
         return r;
@@ -127,8 +123,7 @@ pub fn join_multi_column(
                 (1..g).map(|k| k as f64 / g as f64).collect()
             };
             for alpha in alphas {
-                let mut w_prime: Vec<f64> =
-                    w.iter().map(|&x| (1.0 - alpha) * x).collect();
+                let mut w_prime: Vec<f64> = w.iter().map(|&x| (1.0 - alpha) * x).collect();
                 w_prime[j] += alpha;
                 let outcome = evaluate(&w_prime);
                 let better = match &round_best {
@@ -141,9 +136,7 @@ pub fn join_multi_column(
             }
         }
         match round_best {
-            Some((outcome, w_star, j_star))
-                if outcome.estimated_recall() > current_recall =>
-            {
+            Some((outcome, w_star, j_star)) if outcome.estimated_recall() > current_recall => {
                 w = w_star;
                 best_outcome = Some(outcome);
                 remaining.retain(|&x| x != j_star);
@@ -191,7 +184,9 @@ mod tests {
             .map(|i| format!("The Great Adventure Part {i} Returns"))
             .collect();
         let directors: Vec<String> = (0..40).map(|i| format!("Director {}", i % 7)).collect();
-        let noise_left: Vec<String> = (0..40).map(|i| format!("zz{}qq{}", i * 37 % 11, i)).collect();
+        let noise_left: Vec<String> = (0..40)
+            .map(|i| format!("zz{}qq{}", i * 37 % 11, i))
+            .collect();
         let left = Table::from_columns(
             "movies-l",
             vec![
@@ -205,8 +200,14 @@ mod tests {
             .iter()
             .map(|&i| format!("The Great Adventure Part {i} Return"))
             .collect();
-        let r_directors: Vec<String> = r_idx.iter().map(|&i| format!("Director {}", i % 7)).collect();
-        let r_noise: Vec<String> = r_idx.iter().map(|&i| format!("aa{}bb", i * 13 % 17)).collect();
+        let r_directors: Vec<String> = r_idx
+            .iter()
+            .map(|&i| format!("Director {}", i % 7))
+            .collect();
+        let r_noise: Vec<String> = r_idx
+            .iter()
+            .map(|&i| format!("aa{}bb", i * 13 % 17))
+            .collect();
         let right = Table::from_columns(
             "movies-r",
             vec![
@@ -237,12 +238,11 @@ mod tests {
             "noise column should not be selected"
         );
         // Most right records should join to the correct left record.
-        let correct = result
-            .pairs
-            .iter()
-            .filter(|p| p.left == p.right)
-            .count();
-        assert!(correct as f64 >= 0.7 * right.len() as f64, "correct = {correct}");
+        let correct = result.pairs.iter().filter(|p| p.left == p.right).count();
+        assert!(
+            correct as f64 >= 0.7 * right.len() as f64,
+            "correct = {correct}"
+        );
     }
 
     #[test]

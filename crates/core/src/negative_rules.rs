@@ -49,7 +49,9 @@ pub struct NegativeRuleSet {
 /// Pre-processing used by Algorithm 2 line 1: lower-casing, stemming,
 /// punctuation removal, then splitting into a word set.
 pub fn rule_word_set(s: &str) -> HashSet<String> {
-    let cleaned = stem_words(&normalize_whitespace(&remove_punctuation(&s.to_lowercase())));
+    let cleaned = stem_words(&normalize_whitespace(&remove_punctuation(
+        &s.to_lowercase(),
+    )));
     cleaned.split_whitespace().map(str::to_string).collect()
 }
 
@@ -216,10 +218,7 @@ mod tests {
 
     #[test]
     fn punctuation_and_case_are_ignored() {
-        let left = vec![
-            "Super Bowl XL".to_string(),
-            "Super Bowl XLI".to_string(),
-        ];
+        let left = vec!["Super Bowl XL".to_string(), "Super Bowl XLI".to_string()];
         let rules = NegativeRuleSet::learn_exhaustive(&left);
         assert!(rules.contains("xl", "xli"));
         assert!(rules.forbids("super bowl XL!", "Super Bowl xli"));

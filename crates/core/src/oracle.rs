@@ -161,8 +161,7 @@ impl MultiColumnDistanceCache {
                                     } else {
                                         b as usize
                                     };
-                                    functions[f].distance(&columns[c], a as usize, right_idx)
-                                        as f32
+                                    functions[f].distance(&columns[c], a as usize, right_idx) as f32
                                 })
                                 .collect()
                         })
@@ -300,15 +299,23 @@ mod tests {
     #[test]
     fn weighted_oracle_sums_column_distances() {
         let fns = small_functions();
-        let left_a = vec!["alpha beta".to_string(), "gamma delta".to_string()];
-        let right_a = vec!["alpha beta".to_string()];
-        let left_b = vec!["one".to_string(), "two".to_string()];
-        let right_b = vec!["one two three".to_string()];
+        let left_a = ["alpha beta".to_string(), "gamma delta".to_string()];
+        let right_a = ["alpha beta".to_string()];
+        let left_b = ["one".to_string(), "two".to_string()];
+        let right_b = ["one two three".to_string()];
         let col_a = PreparedColumn::build(
-            &left_a.iter().chain(right_a.iter()).cloned().collect::<Vec<_>>(),
+            &left_a
+                .iter()
+                .chain(right_a.iter())
+                .cloned()
+                .collect::<Vec<_>>(),
         );
         let col_b = PreparedColumn::build(
-            &left_b.iter().chain(right_b.iter()).cloned().collect::<Vec<_>>(),
+            &left_b
+                .iter()
+                .chain(right_b.iter())
+                .cloned()
+                .collect::<Vec<_>>(),
         );
         let lr_cands = vec![vec![0, 1]];
         let ll_cands = vec![vec![1], vec![0]];
@@ -332,7 +339,8 @@ mod tests {
     fn weighted_oracle_reports_infinity_for_unblocked_pairs() {
         let fns = small_functions();
         let col = PreparedColumn::build(&["a", "b", "q"]);
-        let cache = MultiColumnDistanceCache::build(&fns, &[col], 2, 1, &[vec![0]], &[vec![], vec![]]);
+        let cache =
+            MultiColumnDistanceCache::build(&fns, &[col], 2, 1, &[vec![0]], &[vec![], vec![]]);
         let oracle = WeightedColumnsOracle::new(&cache, vec![1.0]);
         assert!(oracle.lr(0, 1, 0).is_infinite());
         assert!(oracle.ll(0, 0, 1).is_infinite());

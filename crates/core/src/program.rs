@@ -172,7 +172,7 @@ impl JoinResult {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autofj_text::{DistanceFunction, Preprocessing, Tokenization, TokenWeighting};
+    use autofj_text::{DistanceFunction, Preprocessing, TokenWeighting, Tokenization};
 
     fn sample_program() -> JoinProgram {
         JoinProgram {

@@ -195,12 +195,8 @@ mod tests {
             .filter(|s| *s != "2005 LSU Tigers baseball team")
             .cloned()
             .collect();
-        let with_rules = join_single_column(
-            &left_without,
-            &right,
-            &space,
-            &AutoFjOptions::default(),
-        );
+        let with_rules =
+            join_single_column(&left_without, &right, &space, &AutoFjOptions::default());
         // With negative rules the football/baseball and year rules forbid the
         // false positive.
         assert!(

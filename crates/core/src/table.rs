@@ -75,10 +75,7 @@ impl Table {
     }
 
     /// Build a multi-column table from `(column name, values)` pairs.
-    pub fn from_columns<S: Into<String>>(
-        name: &str,
-        columns: Vec<(&str, Vec<S>)>,
-    ) -> Self {
+    pub fn from_columns<S: Into<String>>(name: &str, columns: Vec<(&str, Vec<S>)>) -> Self {
         Self::new(
             name,
             columns

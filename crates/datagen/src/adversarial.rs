@@ -72,8 +72,9 @@ pub fn sparsify_reference(
         return task.clone();
     }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let keep_count =
-        ((task.left.len() as f64) * (1.0 - remove_fraction)).round().max(1.0) as usize;
+    let keep_count = ((task.left.len() as f64) * (1.0 - remove_fraction))
+        .round()
+        .max(1.0) as usize;
     let mut indices: Vec<usize> = (0..task.left.len()).collect();
     indices.shuffle(&mut rng);
     indices.truncate(keep_count);
@@ -135,8 +136,8 @@ pub fn add_random_columns(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::single_column::{benchmark_specs, BenchmarkScale};
     use crate::multi_column::MultiColumnDataset;
+    use crate::single_column::{benchmark_specs, BenchmarkScale};
 
     fn small_task(i: usize) -> SingleColumnTask {
         benchmark_specs(BenchmarkScale::Tiny)[i].generate()

@@ -228,15 +228,30 @@ impl EntityGen {
             ),
             ABN => (
                 vec![
-                    "title", "author", "pages", "publisher", "isbn_prefix", "year", "format",
-                    "language", "edition", "series", "blurb",
+                    "title",
+                    "author",
+                    "pages",
+                    "publisher",
+                    "isbn_prefix",
+                    "year",
+                    "format",
+                    "language",
+                    "edition",
+                    "series",
+                    "blurb",
                 ],
                 vec![0],
                 vec![2],
             ),
             IA => (
                 vec![
-                    "song_name", "artist", "album", "genre", "price", "copyright", "time",
+                    "song_name",
+                    "artist",
+                    "album",
+                    "genre",
+                    "price",
+                    "copyright",
+                    "time",
                     "released",
                 ],
                 vec![0],
@@ -244,9 +259,22 @@ impl EntityGen {
             ),
             BB => (
                 vec![
-                    "title", "company_struct", "brand", "weight", "length", "width", "height",
-                    "fabrics", "colors", "materials", "price", "category", "sku_prefix",
-                    "pack_size", "age_range", "blurb",
+                    "title",
+                    "company_struct",
+                    "brand",
+                    "weight",
+                    "length",
+                    "width",
+                    "height",
+                    "fabrics",
+                    "colors",
+                    "materials",
+                    "price",
+                    "category",
+                    "sku_prefix",
+                    "pack_size",
+                    "age_range",
+                    "blurb",
                 ],
                 vec![0],
                 vec![1],
@@ -275,7 +303,9 @@ impl EntityGen {
                 "{} {} {}",
                 GRAND_ADJECTIVES.choose(rng).unwrap(),
                 CUISINES.choose(rng).unwrap(),
-                ["Kitchen", "Bistro", "Grill", "Cafe", "House", "Table"].choose(rng).unwrap()
+                ["Kitchen", "Bistro", "Grill", "Cafe", "House", "Table"]
+                    .choose(rng)
+                    .unwrap()
             ),
             (FZ, "addr") => format!(
                 "{} {} {}",
@@ -294,13 +324,27 @@ impl EntityGen {
             (FZ, "class") => rng.gen_range(0..200).to_string(),
             (DA, "title") => format!(
                 "{} for {} in {} Systems",
-                ["A Survey of", "Efficient", "Scalable", "Adaptive", "Learned", "Robust"]
-                    .choose(rng)
-                    .unwrap(),
+                [
+                    "A Survey of",
+                    "Efficient",
+                    "Scalable",
+                    "Adaptive",
+                    "Learned",
+                    "Robust"
+                ]
+                .choose(rng)
+                .unwrap(),
                 TOPICS.choose(rng).unwrap(),
-                ["Distributed", "Parallel", "Cloud", "Streaming", "Relational", "Modern"]
-                    .choose(rng)
-                    .unwrap()
+                [
+                    "Distributed",
+                    "Parallel",
+                    "Cloud",
+                    "Streaming",
+                    "Relational",
+                    "Modern"
+                ]
+                .choose(rng)
+                .unwrap()
             ),
             (DA, "authors") => format!(
                 "{} {}, {} {}",
@@ -316,7 +360,11 @@ impl EntityGen {
                 LAST_NAMES.choose(rng).unwrap(),
                 BRAND_SUFFIXES.choose(rng).unwrap(),
                 PRODUCT_NOUNS.choose(rng).unwrap(),
-                format_args!("{}{}", ["X", "Pro ", "Mini ", "Max ", "S"].choose(rng).unwrap(), rng.gen_range(1..99))
+                format_args!(
+                    "{}{}",
+                    ["X", "Pro ", "Mini ", "Max ", "S"].choose(rng).unwrap(),
+                    rng.gen_range(1..99)
+                )
             ),
             (AB, "description") => format!(
                 "{} {} with {} finish",
@@ -328,9 +376,16 @@ impl EntityGen {
             (RI, "name") => format!(
                 "The {} {}",
                 ART_WORDS.choose(rng).unwrap(),
-                ["Returns", "Rises", "Chronicles", "Affair", "Conspiracy", "Legacy"]
-                    .choose(rng)
-                    .unwrap()
+                [
+                    "Returns",
+                    "Rises",
+                    "Chronicles",
+                    "Affair",
+                    "Conspiracy",
+                    "Legacy"
+                ]
+                .choose(rng)
+                .unwrap()
             ),
             (RI, "director") => format!(
                 "{} {}",
@@ -357,12 +412,16 @@ impl EntityGen {
                 "{} {} {}",
                 GRAND_ADJECTIVES.choose(rng).unwrap(),
                 CITIES.choose(rng).unwrap(),
-                ["IPA", "Stout", "Lager", "Porter", "Pilsner", "Ale", "Saison"].choose(rng).unwrap()
+                ["IPA", "Stout", "Lager", "Porter", "Pilsner", "Ale", "Saison"]
+                    .choose(rng)
+                    .unwrap()
             ),
             (BR, "factory_name") => format!(
                 "{} Brewing {}",
                 CITIES.choose(rng).unwrap(),
-                ["Company", "Co.", "Works", "Collective"].choose(rng).unwrap()
+                ["Company", "Co.", "Works", "Collective"]
+                    .choose(rng)
+                    .unwrap()
             ),
             (BR, "style") => ["IPA", "Stout", "Lager", "Porter", "Sour", "Wheat"]
                 .choose(rng)
@@ -381,10 +440,7 @@ impl EntityGen {
                 LAST_NAMES.choose(rng).unwrap()
             ),
             (ABN, "pages") => rng.gen_range(90..900).to_string(),
-            (ABN, "publisher") => format!(
-                "{} Press",
-                CITIES.choose(rng).unwrap()
-            ),
+            (ABN, "publisher") => format!("{} Press", CITIES.choose(rng).unwrap()),
             (IA, "song_name") => format!(
                 "{} {} ({} mix)",
                 GRAND_ADJECTIVES.choose(rng).unwrap(),
@@ -409,9 +465,16 @@ impl EntityGen {
                 LAST_NAMES.choose(rng).unwrap(),
                 BRAND_SUFFIXES.choose(rng).unwrap(),
                 COLORS.choose(rng).unwrap(),
-                ["Stroller", "Crib", "Carrier", "High Chair", "Play Mat", "Bouncer"]
-                    .choose(rng)
-                    .unwrap()
+                [
+                    "Stroller",
+                    "Crib",
+                    "Carrier",
+                    "High Chair",
+                    "Play Mat",
+                    "Bouncer"
+                ]
+                .choose(rng)
+                .unwrap()
             ),
             (BB, "company_struct") => format!(
                 "{} {}",
@@ -430,8 +493,16 @@ impl EntityGen {
             return String::new(); // missing value
         }
         match col % 4 {
-            0 => format!("{}{}", LAST_NAMES.choose(rng).unwrap(), rng.gen_range(0..99)),
-            1 => format!("{} {}", COLORS.choose(rng).unwrap(), PRODUCT_NOUNS.choose(rng).unwrap()),
+            0 => format!(
+                "{}{}",
+                LAST_NAMES.choose(rng).unwrap(),
+                rng.gen_range(0..99)
+            ),
+            1 => format!(
+                "{} {}",
+                COLORS.choose(rng).unwrap(),
+                PRODUCT_NOUNS.choose(rng).unwrap()
+            ),
             2 => format!("{:.2}", rng.gen_range(0..10_000) as f64 / 100.0),
             _ => format!(
                 "{} {} {}",
@@ -508,7 +579,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(exact, 0, "informative column should never be copied verbatim");
+        assert_eq!(
+            exact, 0,
+            "informative column should never be copied verbatim"
+        );
     }
 
     #[test]

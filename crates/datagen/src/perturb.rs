@@ -382,8 +382,12 @@ mod tests {
         let mix = PerturbationMix::balanced();
         let mut r1 = SmallRng::seed_from_u64(7);
         let mut r2 = SmallRng::seed_from_u64(7);
-        let a: Vec<String> = (0..10).map(|_| mix.perturb("Grand Hotel Salem", &mut r1)).collect();
-        let b: Vec<String> = (0..10).map(|_| mix.perturb("Grand Hotel Salem", &mut r2)).collect();
+        let a: Vec<String> = (0..10)
+            .map(|_| mix.perturb("Grand Hotel Salem", &mut r1))
+            .collect();
+        let b: Vec<String> = (0..10)
+            .map(|_| mix.perturb("Grand Hotel Salem", &mut r2))
+            .collect();
         assert_eq!(a, b);
     }
 

@@ -83,9 +83,17 @@ impl Family {
                 }
             }
             Family::TitledPerson => {
-                let title = ["King", "Queen", "Bishop", "Duke", "Baron", "Archbishop", "Count"]
-                    .choose(rng)
-                    .unwrap();
+                let title = [
+                    "King",
+                    "Queen",
+                    "Bishop",
+                    "Duke",
+                    "Baron",
+                    "Archbishop",
+                    "Count",
+                ]
+                .choose(rng)
+                .unwrap();
                 format!(
                     "{title} {} {} of {}",
                     FIRST_NAMES.choose(rng).unwrap(),
@@ -165,9 +173,15 @@ impl Family {
                 ROMAN.choose(rng).unwrap()
             ),
             Family::Election => {
-                let office = ["gubernatorial", "senate", "mayoral", "presidential", "state"]
-                    .choose(rng)
-                    .unwrap();
+                let office = [
+                    "gubernatorial",
+                    "senate",
+                    "mayoral",
+                    "presidential",
+                    "state",
+                ]
+                .choose(rng)
+                .unwrap();
                 format!(
                     "{} {} {office} election",
                     rng.gen_range(1950..2016),
@@ -279,8 +293,8 @@ impl DomainSpec {
         let in_left: Vec<usize> = (0..canonical.len())
             .filter(|i| left_index_of_entity[*i].is_some())
             .collect();
-        let mut num_unmatched = ((self.num_right as f64) * (1.0 - self.left_coverage))
-            .round() as usize;
+        let mut num_unmatched =
+            ((self.num_right as f64) * (1.0 - self.left_coverage)).round() as usize;
         if !out_of_left.is_empty() {
             num_unmatched = num_unmatched.clamp(1, self.num_right.saturating_sub(1));
         } else {
@@ -288,7 +302,11 @@ impl DomainSpec {
         }
         let mut entity_choices: Vec<usize> = Vec::with_capacity(self.num_right);
         for k in 0..self.num_right {
-            let pool = if k < num_unmatched { &out_of_left } else { &in_left };
+            let pool = if k < num_unmatched {
+                &out_of_left
+            } else {
+                &in_left
+            };
             entity_choices.push(*pool.choose(&mut rng).expect("non-empty entity pool"));
         }
         entity_choices.shuffle(&mut rng);
@@ -346,7 +364,14 @@ pub fn benchmark_specs(scale: BenchmarkScale) -> Vec<DomainSpec> {
     // mix kind: 0 = balanced, 1 = token heavy, 2 = char heavy.
     let raw: &[(&str, Family, usize, usize, f64, u8)] = &[
         ("Amphibian", Family::Species, 1200, 400, 0.90, 2),
-        ("ArtificialSatellite", Family::CatalogCode, 1200, 300, 0.85, 2),
+        (
+            "ArtificialSatellite",
+            Family::CatalogCode,
+            1200,
+            300,
+            0.85,
+            2,
+        ),
         ("Artwork", Family::Artwork, 1500, 250, 0.92, 0),
         ("Award", Family::Award, 1400, 380, 0.90, 1),
         ("BasketballTeam", Family::TeamSeason, 900, 170, 0.88, 0),
@@ -359,7 +384,14 @@ pub fn benchmark_specs(scale: BenchmarkScale) -> Vec<DomainSpec> {
         ("Election", Family::Election, 2000, 720, 0.92, 1),
         ("Enzyme", Family::DrugCode, 1500, 100, 0.88, 2),
         ("EthnicGroup", Family::Organization, 1600, 900, 0.90, 0),
-        ("FootballLeagueSeason", Family::LeagueSeason, 1600, 280, 0.90, 1),
+        (
+            "FootballLeagueSeason",
+            Family::LeagueSeason,
+            1600,
+            280,
+            0.90,
+            1,
+        ),
         ("FootballMatch", Family::RomanEvent, 1000, 100, 0.92, 0),
         ("Galaxy", Family::CatalogCode, 550, 60, 0.85, 2),
         ("GivenName", Family::GivenName, 1200, 150, 0.92, 2),
@@ -416,7 +448,10 @@ pub fn benchmark_specs(scale: BenchmarkScale) -> Vec<DomainSpec> {
 
 /// Generate the whole 50-task benchmark at the given scale.
 pub fn generate_benchmark(scale: BenchmarkScale) -> Vec<SingleColumnTask> {
-    benchmark_specs(scale).iter().map(DomainSpec::generate).collect()
+    benchmark_specs(scale)
+        .iter()
+        .map(DomainSpec::generate)
+        .collect()
 }
 
 #[cfg(test)]

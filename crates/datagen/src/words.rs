@@ -8,50 +8,204 @@
 
 /// US/College team mascots.
 pub const MASCOTS: &[&str] = &[
-    "Tigers", "Badgers", "Bulldogs", "Crimson Tide", "Ducks", "Wolverines", "Buckeyes",
-    "Longhorns", "Sooners", "Gators", "Seminoles", "Trojans", "Bruins", "Spartans", "Huskies",
-    "Wildcats", "Cougars", "Aggies", "Rebels", "Commodores", "Gamecocks", "Razorbacks",
-    "Volunteers", "Jayhawks", "Cyclones", "Hoosiers", "Boilermakers", "Cornhuskers",
+    "Tigers",
+    "Badgers",
+    "Bulldogs",
+    "Crimson Tide",
+    "Ducks",
+    "Wolverines",
+    "Buckeyes",
+    "Longhorns",
+    "Sooners",
+    "Gators",
+    "Seminoles",
+    "Trojans",
+    "Bruins",
+    "Spartans",
+    "Huskies",
+    "Wildcats",
+    "Cougars",
+    "Aggies",
+    "Rebels",
+    "Commodores",
+    "Gamecocks",
+    "Razorbacks",
+    "Volunteers",
+    "Jayhawks",
+    "Cyclones",
+    "Hoosiers",
+    "Boilermakers",
+    "Cornhuskers",
 ];
 
 /// US state / university place names.
 pub const PLACES: &[&str] = &[
-    "Alabama", "Wisconsin", "Mississippi", "Oregon", "Michigan", "Ohio", "Texas", "Oklahoma",
-    "Florida", "Georgia", "California", "Washington", "Kansas", "Iowa", "Indiana", "Nebraska",
-    "Kentucky", "Tennessee", "Arkansas", "Virginia", "Missouri", "Arizona", "Colorado",
-    "Minnesota", "Illinois", "Louisiana", "Carolina", "Utah", "Nevada", "Idaho",
+    "Alabama",
+    "Wisconsin",
+    "Mississippi",
+    "Oregon",
+    "Michigan",
+    "Ohio",
+    "Texas",
+    "Oklahoma",
+    "Florida",
+    "Georgia",
+    "California",
+    "Washington",
+    "Kansas",
+    "Iowa",
+    "Indiana",
+    "Nebraska",
+    "Kentucky",
+    "Tennessee",
+    "Arkansas",
+    "Virginia",
+    "Missouri",
+    "Arizona",
+    "Colorado",
+    "Minnesota",
+    "Illinois",
+    "Louisiana",
+    "Carolina",
+    "Utah",
+    "Nevada",
+    "Idaho",
 ];
 
 /// Sports.
 pub const SPORTS: &[&str] = &[
-    "football", "baseball", "basketball", "soccer", "volleyball", "softball", "lacrosse",
-    "hockey", "swimming", "wrestling",
+    "football",
+    "baseball",
+    "basketball",
+    "soccer",
+    "volleyball",
+    "softball",
+    "lacrosse",
+    "hockey",
+    "swimming",
+    "wrestling",
 ];
 
 /// Common first names.
 pub const FIRST_NAMES: &[&str] = &[
-    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda", "William",
-    "Elizabeth", "David", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah",
-    "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Betty", "Anthony",
-    "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven", "Kimberly", "Paul", "Emily",
-    "Andrew", "Donna", "Joshua", "Michelle",
+    "James",
+    "Mary",
+    "John",
+    "Patricia",
+    "Robert",
+    "Jennifer",
+    "Michael",
+    "Linda",
+    "William",
+    "Elizabeth",
+    "David",
+    "Barbara",
+    "Richard",
+    "Susan",
+    "Joseph",
+    "Jessica",
+    "Thomas",
+    "Sarah",
+    "Charles",
+    "Karen",
+    "Christopher",
+    "Nancy",
+    "Daniel",
+    "Lisa",
+    "Matthew",
+    "Betty",
+    "Anthony",
+    "Margaret",
+    "Mark",
+    "Sandra",
+    "Donald",
+    "Ashley",
+    "Steven",
+    "Kimberly",
+    "Paul",
+    "Emily",
+    "Andrew",
+    "Donna",
+    "Joshua",
+    "Michelle",
 ];
 
 /// Common last names.
 pub const LAST_NAMES: &[&str] = &[
-    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
-    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
-    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
-    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
-    "Scott", "Torres", "Nguyen", "Hill", "Flores",
+    "Smith",
+    "Johnson",
+    "Williams",
+    "Brown",
+    "Jones",
+    "Garcia",
+    "Miller",
+    "Davis",
+    "Rodriguez",
+    "Martinez",
+    "Hernandez",
+    "Lopez",
+    "Gonzalez",
+    "Wilson",
+    "Anderson",
+    "Thomas",
+    "Taylor",
+    "Moore",
+    "Jackson",
+    "Martin",
+    "Lee",
+    "Perez",
+    "Thompson",
+    "White",
+    "Harris",
+    "Sanchez",
+    "Clark",
+    "Ramirez",
+    "Lewis",
+    "Robinson",
+    "Walker",
+    "Young",
+    "Allen",
+    "King",
+    "Wright",
+    "Scott",
+    "Torres",
+    "Nguyen",
+    "Hill",
+    "Flores",
 ];
 
 /// City names (world-wide).
 pub const CITIES: &[&str] = &[
-    "Springfield", "Riverside", "Fairview", "Georgetown", "Salem", "Madison", "Arlington",
-    "Ashland", "Dover", "Oxford", "Burlington", "Manchester", "Clinton", "Milton", "Newport",
-    "Auburn", "Bristol", "Dayton", "Florence", "Greenville", "Kingston", "Lancaster",
-    "Lexington", "Marion", "Milford", "Princeton", "Richmond", "Trenton", "Vienna", "Winchester",
+    "Springfield",
+    "Riverside",
+    "Fairview",
+    "Georgetown",
+    "Salem",
+    "Madison",
+    "Arlington",
+    "Ashland",
+    "Dover",
+    "Oxford",
+    "Burlington",
+    "Manchester",
+    "Clinton",
+    "Milton",
+    "Newport",
+    "Auburn",
+    "Bristol",
+    "Dayton",
+    "Florence",
+    "Greenville",
+    "Kingston",
+    "Lancaster",
+    "Lexington",
+    "Marion",
+    "Milford",
+    "Princeton",
+    "Richmond",
+    "Trenton",
+    "Vienna",
+    "Winchester",
 ];
 
 /// Country-ish names (invented mixes to keep the table synthetic but
@@ -63,76 +217,228 @@ pub const REGIONS: &[&str] = &[
 
 /// Organization kind words.
 pub const ORG_KINDS: &[&str] = &[
-    "Agency", "Authority", "Bureau", "Commission", "Council", "Department", "Institute",
-    "Ministry", "Office", "Service", "Board", "Administration", "Foundation", "Association",
-    "Federation", "Union", "Society", "Committee",
+    "Agency",
+    "Authority",
+    "Bureau",
+    "Commission",
+    "Council",
+    "Department",
+    "Institute",
+    "Ministry",
+    "Office",
+    "Service",
+    "Board",
+    "Administration",
+    "Foundation",
+    "Association",
+    "Federation",
+    "Union",
+    "Society",
+    "Committee",
 ];
 
 /// Facility kind words.
 pub const FACILITY_KINDS: &[&str] = &[
-    "Stadium", "Arena", "Hospital", "Museum", "Library", "Theatre", "Gallery", "Observatory",
-    "Cathedral", "Palace", "Castle", "Bridge", "Tower", "Hall", "Center", "Park", "Garden",
-    "Airport", "Station", "Mall",
+    "Stadium",
+    "Arena",
+    "Hospital",
+    "Museum",
+    "Library",
+    "Theatre",
+    "Gallery",
+    "Observatory",
+    "Cathedral",
+    "Palace",
+    "Castle",
+    "Bridge",
+    "Tower",
+    "Hall",
+    "Center",
+    "Park",
+    "Garden",
+    "Airport",
+    "Station",
+    "Mall",
 ];
 
 /// Adjectives used in facility / building names.
 pub const GRAND_ADJECTIVES: &[&str] = &[
-    "Grand", "Royal", "National", "Memorial", "Metropolitan", "Imperial", "Saint", "Golden",
-    "Silver", "Liberty", "Victory", "Union", "Olympic", "Pacific", "Atlantic", "Highland",
+    "Grand",
+    "Royal",
+    "National",
+    "Memorial",
+    "Metropolitan",
+    "Imperial",
+    "Saint",
+    "Golden",
+    "Silver",
+    "Liberty",
+    "Victory",
+    "Union",
+    "Olympic",
+    "Pacific",
+    "Atlantic",
+    "Highland",
 ];
 
 /// Pharmaceutical-style syllables used for drug / enzyme names.
 pub const DRUG_SYLLABLES: &[&str] = &[
     "zol", "pra", "mex", "tin", "lor", "vas", "cet", "dol", "fen", "gly", "hex", "ibu", "ket",
-    "lan", "mor", "nex", "oxa", "pen", "qui", "rif", "ser", "tra", "ur", "vir", "xan", "yl",
-    "zet", "amo", "bro", "cor",
+    "lan", "mor", "nex", "oxa", "pen", "qui", "rif", "ser", "tra", "ur", "vir", "xan", "yl", "zet",
+    "amo", "bro", "cor",
 ];
 
 /// Music / artwork style words.
 pub const ART_WORDS: &[&str] = &[
-    "Sonata", "Symphony", "Portrait", "Landscape", "Nocturne", "Prelude", "Rhapsody", "Etude",
-    "Ballad", "Overture", "Fantasy", "Serenade", "Requiem", "Concerto", "Madonna", "Still Life",
-    "Composition", "Study", "Impression", "Allegory",
+    "Sonata",
+    "Symphony",
+    "Portrait",
+    "Landscape",
+    "Nocturne",
+    "Prelude",
+    "Rhapsody",
+    "Etude",
+    "Ballad",
+    "Overture",
+    "Fantasy",
+    "Serenade",
+    "Requiem",
+    "Concerto",
+    "Madonna",
+    "Still Life",
+    "Composition",
+    "Study",
+    "Impression",
+    "Allegory",
 ];
 
 /// Genre words for songs, magazines, television.
 pub const GENRES: &[&str] = &[
-    "Rock", "Jazz", "Blues", "Country", "Electronic", "Classical", "Folk", "Reggae", "Soul",
-    "Punk", "Metal", "Gospel", "Disco", "Ambient", "House",
+    "Rock",
+    "Jazz",
+    "Blues",
+    "Country",
+    "Electronic",
+    "Classical",
+    "Folk",
+    "Reggae",
+    "Soul",
+    "Punk",
+    "Metal",
+    "Gospel",
+    "Disco",
+    "Ambient",
+    "House",
 ];
 
 /// Species epithet-like latin-ish words.
 pub const SPECIES_EPITHETS: &[&str] = &[
-    "viridis", "alpina", "maculata", "gigantea", "minor", "major", "orientalis", "occidentalis",
-    "vulgaris", "rubra", "alba", "nigra", "montana", "palustris", "sylvatica", "aquatica",
-    "borealis", "australis", "punctata", "striata",
+    "viridis",
+    "alpina",
+    "maculata",
+    "gigantea",
+    "minor",
+    "major",
+    "orientalis",
+    "occidentalis",
+    "vulgaris",
+    "rubra",
+    "alba",
+    "nigra",
+    "montana",
+    "palustris",
+    "sylvatica",
+    "aquatica",
+    "borealis",
+    "australis",
+    "punctata",
+    "striata",
 ];
 
 /// Genus-like words.
 pub const GENERA: &[&str] = &[
-    "Rana", "Bufo", "Hyla", "Ambystoma", "Triturus", "Salamandra", "Lacerta", "Natrix", "Vipera",
-    "Anolis", "Gekko", "Python", "Boa", "Chelonia", "Testudo", "Crotalus", "Elaphe", "Agama",
-    "Varanus", "Iguana",
+    "Rana",
+    "Bufo",
+    "Hyla",
+    "Ambystoma",
+    "Triturus",
+    "Salamandra",
+    "Lacerta",
+    "Natrix",
+    "Vipera",
+    "Anolis",
+    "Gekko",
+    "Python",
+    "Boa",
+    "Chelonia",
+    "Testudo",
+    "Crotalus",
+    "Elaphe",
+    "Agama",
+    "Varanus",
+    "Iguana",
 ];
 
 /// League / competition words.
 pub const LEAGUE_WORDS: &[&str] = &[
-    "Premier League", "Championship", "First Division", "Second Division", "Super League",
-    "National League", "Regional League", "Cup", "Trophy", "Open", "Masters", "Classic",
-    "Invitational", "Grand Prix", "Series",
+    "Premier League",
+    "Championship",
+    "First Division",
+    "Second Division",
+    "Super League",
+    "National League",
+    "Regional League",
+    "Cup",
+    "Trophy",
+    "Open",
+    "Masters",
+    "Classic",
+    "Invitational",
+    "Grand Prix",
+    "Series",
 ];
 
 /// Company-ish suffixes for products / brands.
 pub const BRAND_SUFFIXES: &[&str] = &[
-    "Works", "Labs", "Industries", "Systems", "Dynamics", "Goods", "Supply", "Outfitters",
-    "Collective", "Partners", "Holdings", "Group", "Studio", "Makers", "Corporation",
+    "Works",
+    "Labs",
+    "Industries",
+    "Systems",
+    "Dynamics",
+    "Goods",
+    "Supply",
+    "Outfitters",
+    "Collective",
+    "Partners",
+    "Holdings",
+    "Group",
+    "Studio",
+    "Makers",
+    "Corporation",
 ];
 
 /// Product nouns.
 pub const PRODUCT_NOUNS: &[&str] = &[
-    "Blender", "Speaker", "Headphones", "Monitor", "Keyboard", "Stroller", "Crib", "Bottle",
-    "Carrier", "Backpack", "Lantern", "Tent", "Grill", "Kettle", "Camera", "Printer", "Router",
-    "Charger", "Vacuum", "Toaster",
+    "Blender",
+    "Speaker",
+    "Headphones",
+    "Monitor",
+    "Keyboard",
+    "Stroller",
+    "Crib",
+    "Bottle",
+    "Carrier",
+    "Backpack",
+    "Lantern",
+    "Tent",
+    "Grill",
+    "Kettle",
+    "Camera",
+    "Printer",
+    "Router",
+    "Charger",
+    "Vacuum",
+    "Toaster",
 ];
 
 /// Colors (used for products).
@@ -142,9 +448,9 @@ pub const COLORS: &[&str] = &[
 
 /// Roman numerals 1..=30 (used for Super-Bowl-like event names).
 pub const ROMAN: &[&str] = &[
-    "I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X", "XI", "XII", "XIII", "XIV",
-    "XV", "XVI", "XVII", "XVIII", "XIX", "XX", "XXI", "XXII", "XXIII", "XXIV", "XXV", "XXVI",
-    "XXVII", "XXVIII", "XXIX", "XXX",
+    "I", "II", "III", "IV", "V", "VI", "VII", "VIII", "IX", "X", "XI", "XII", "XIII", "XIV", "XV",
+    "XVI", "XVII", "XVIII", "XIX", "XX", "XXI", "XXII", "XXIII", "XXIV", "XXV", "XXVI", "XXVII",
+    "XXVIII", "XXIX", "XXX",
 ];
 
 /// Street-type words for addresses.
@@ -152,8 +458,18 @@ pub const STREET_TYPES: &[&str] = &["St", "Ave", "Blvd", "Rd", "Lane", "Drive", 
 
 /// Cuisine types for restaurants.
 pub const CUISINES: &[&str] = &[
-    "Italian", "French", "Thai", "Mexican", "Japanese", "Indian", "Greek", "Spanish", "Korean",
-    "Vietnamese", "American", "Ethiopian",
+    "Italian",
+    "French",
+    "Thai",
+    "Mexican",
+    "Japanese",
+    "Indian",
+    "Greek",
+    "Spanish",
+    "Korean",
+    "Vietnamese",
+    "American",
+    "Ethiopian",
 ];
 
 /// Venue words for citations.
@@ -164,16 +480,40 @@ pub const VENUES: &[&str] = &[
 
 /// Research topic words for citation titles.
 pub const TOPICS: &[&str] = &[
-    "Similarity Joins", "Entity Resolution", "Query Optimization", "Data Cleaning",
-    "Schema Matching", "Approximate Search", "Stream Processing", "Graph Mining",
-    "Transaction Processing", "Index Structures", "Data Integration", "Crowdsourcing",
-    "Differential Privacy", "Federated Learning", "Knowledge Graphs", "Text Mining",
+    "Similarity Joins",
+    "Entity Resolution",
+    "Query Optimization",
+    "Data Cleaning",
+    "Schema Matching",
+    "Approximate Search",
+    "Stream Processing",
+    "Graph Mining",
+    "Transaction Processing",
+    "Index Structures",
+    "Data Integration",
+    "Crowdsourcing",
+    "Differential Privacy",
+    "Federated Learning",
+    "Knowledge Graphs",
+    "Text Mining",
 ];
 
 /// Qualifier words appended to entity names (extraneous info in R).
 pub const QUALIFIERS: &[&str] = &[
-    "(official)", "(new)", "(archive)", "[draft]", "Ltd", "Inc", "USA", "UK", "edition",
-    "volume", "series", "the", "of the", "online",
+    "(official)",
+    "(new)",
+    "(archive)",
+    "[draft]",
+    "Ltd",
+    "Inc",
+    "USA",
+    "UK",
+    "edition",
+    "volume",
+    "series",
+    "the",
+    "of the",
+    "online",
 ];
 
 #[cfg(test)]
@@ -197,7 +537,12 @@ mod tests {
 
     #[test]
     fn pools_have_no_duplicates() {
-        for pool in [super::MASCOTS, super::PLACES, super::LAST_NAMES, super::ROMAN] {
+        for pool in [
+            super::MASCOTS,
+            super::PLACES,
+            super::LAST_NAMES,
+            super::ROMAN,
+        ] {
             let set: std::collections::HashSet<_> = pool.iter().collect();
             assert_eq!(set.len(), pool.len());
         }

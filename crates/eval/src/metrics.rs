@@ -80,10 +80,7 @@ pub fn evaluate_assignment(
 /// over `num_right` right records.  At most one prediction per right record is
 /// counted (the first one encountered), matching the many-to-one semantics of
 /// Definition 2.1.
-pub fn evaluate_pairs(
-    pairs: &[(usize, usize)],
-    ground_truth: &[Option<usize>],
-) -> QualityReport {
+pub fn evaluate_pairs(pairs: &[(usize, usize)], ground_truth: &[Option<usize>]) -> QualityReport {
     let mut assignment: Vec<Option<usize>> = vec![None; ground_truth.len()];
     for &(r, l) in pairs {
         if assignment[r].is_none() {

@@ -17,10 +17,7 @@ pub struct PrPoint {
 /// Compute the precision–recall curve of score-ranked predictions.
 /// Predictions are reduced to the best-scored one per right record, then the
 /// threshold is swept from the highest score downwards.
-pub fn pr_curve(
-    predictions: &[ScoredPrediction],
-    ground_truth: &[Option<usize>],
-) -> Vec<PrPoint> {
+pub fn pr_curve(predictions: &[ScoredPrediction], ground_truth: &[Option<usize>]) -> Vec<PrPoint> {
     let num_gt = ground_truth.iter().flatten().count();
     if num_gt == 0 || predictions.is_empty() {
         return Vec::new();
@@ -109,12 +106,7 @@ mod tests {
     #[test]
     fn auc_is_in_unit_interval() {
         let gt = vec![Some(0), Some(1), Some(2), Some(3)];
-        let preds = vec![
-            p(0, 0, 0.9),
-            p(1, 5, 0.85),
-            p(2, 2, 0.8),
-            p(3, 7, 0.75),
-        ];
+        let preds = vec![p(0, 0, 0.9), p(1, 5, 0.85), p(2, 2, 0.8), p(3, 7, 0.75)];
         let auc = pr_auc(&preds, &gt);
         assert!((0.0..=1.0).contains(&auc));
     }

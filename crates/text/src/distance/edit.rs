@@ -95,4 +95,57 @@ mod tests {
         let d = normalized_edit_distance("missisippi bulldog", "mississippi bulldogs");
         assert!(d < 0.15, "expected a small distance, got {d}");
     }
+
+    #[test]
+    fn known_values_match_hand_computation() {
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("saturday", "sunday"), 3);
+        assert_eq!(levenshtein("gumbo", "gambol"), 2);
+        // kitten -> sitting: 3 edits over max length 7.
+        assert!((normalized_edit_distance("kitten", "sitting") - 3.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn completely_disjoint_strings_have_normalized_distance_one() {
+        assert_eq!(normalized_edit_distance("aaaa", "bbbb"), 1.0);
+        assert_eq!(normalized_edit_distance("ab", "xyz"), 1.0);
+    }
+
+    #[test]
+    fn char_slice_entry_points_agree_with_str_ones() {
+        let (a, b) = ("résumé folder", "resume folders");
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        assert_eq!(levenshtein(a, b), levenshtein_chars(&ac, &bc));
+        assert_eq!(
+            normalized_edit_distance(a, b),
+            normalized_edit_distance_chars(&ac, &bc)
+        );
+    }
+
+    #[test]
+    fn triangle_inequality_holds_on_sample_triples() {
+        let words = ["team", "teams", "steam", "meat", "", "mate"];
+        for a in words {
+            for b in words {
+                for c in words {
+                    let ab = levenshtein(a, b);
+                    let bc = levenshtein(b, c);
+                    let ac = levenshtein(a, c);
+                    assert!(ac <= ab + bc, "triangle violated for {a:?} {b:?} {c:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_bounded_by_longer_length_and_at_least_length_gap() {
+        let pairs = [("abc", "abcdef"), ("x", "yz"), ("winter", "wine")];
+        for (a, b) in pairs {
+            let d = levenshtein(a, b);
+            let (la, lb) = (a.chars().count(), b.chars().count());
+            assert!(d >= la.abs_diff(lb));
+            assert!(d <= la.max(lb));
+        }
+    }
 }

@@ -144,4 +144,62 @@ mod tests {
         let boosted = jaro_winkler_similarity("prefixed", "prefixes");
         assert!(boosted >= plain);
     }
+
+    #[test]
+    fn textbook_dixon_dicksonx() {
+        // The third classic pair from Winkler's papers.
+        assert!(close(jaro_similarity("dixon", "dicksonx"), 0.7667));
+        assert!(close(jaro_winkler_similarity("dixon", "dicksonx"), 0.8133));
+    }
+
+    #[test]
+    fn textbook_crate_trace_transpositions() {
+        // CRATE/TRACE: 3 matches within the window, 1 transposition pair.
+        assert!(close(jaro_similarity("crate", "trace"), 0.7333));
+    }
+
+    #[test]
+    fn winkler_boost_caps_at_four_prefix_chars() {
+        // Both pairs differ only after the 4th character, so the rewarded
+        // prefix is identical even though the shared prefix is longer.
+        let four = jaro_winkler_similarity("abcdexx", "abcdeyy");
+        let five = jaro_winkler_similarity("abcdefx", "abcdefy");
+        let jaro_four = jaro_similarity("abcdexx", "abcdeyy");
+        let jaro_five = jaro_similarity("abcdefx", "abcdefy");
+        assert!(close(four - jaro_four, 0.4 * (1.0 - jaro_four)));
+        assert!(close(five - jaro_five, 0.4 * (1.0 - jaro_five)));
+    }
+
+    #[test]
+    fn similarity_never_leaves_unit_interval() {
+        let words = ["", "a", "ab", "martha", "marhta", "xyzzy", "ααβ"];
+        for x in words {
+            for y in words {
+                let s = jaro_winkler_similarity(x, y);
+                assert!((0.0..=1.0).contains(&s), "{x:?}/{y:?} -> {s}");
+                let d = jaro_winkler_distance(x, y);
+                assert!((0.0..=1.0).contains(&d), "{x:?}/{y:?} -> {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn jaro_is_symmetric() {
+        let pairs = [("dwayne", "duane"), ("dixon", "dicksonx"), ("", "abc")];
+        for (x, y) in pairs {
+            assert!((jaro_similarity(x, y) - jaro_similarity(y, x)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn char_slice_entry_points_agree_with_str_ones() {
+        let (a, b) = ("jellyfish", "smellyfish");
+        let ac: Vec<char> = a.chars().collect();
+        let bc: Vec<char> = b.chars().collect();
+        assert_eq!(jaro_similarity(a, b), jaro_similarity_chars(&ac, &bc));
+        assert_eq!(
+            jaro_winkler_distance(a, b),
+            jaro_winkler_distance_chars(&ac, &bc)
+        );
+    }
 }

@@ -262,4 +262,86 @@ mod tests {
         assert_eq!(o1.max_inclusion_distance(), o2.max_inclusion_distance());
         assert_eq!(o1.intersect_distance(), o2.intersect_distance());
     }
+
+    #[test]
+    fn jaccard_on_token_sets_of_team_names() {
+        // {"2007","lsu","tigers","football"} vs {"2007","lsu","tigers",
+        // "football","team"}: |A∩B| = 4, |A∪B| = 5.
+        let w = table(5);
+        let o = overlap(&[0, 1, 2, 3], &[0, 1, 2, 3, 4], &w);
+        assert!((o.jaccard_distance() - 0.2).abs() < 1e-12);
+        // A ⊆ B, so the containment (intersect) distance is 0.
+        assert!(o.a_subset_of_b && !o.b_subset_of_a);
+        assert_eq!(o.intersect_distance(), 0.0);
+        // MD uses the larger set: 1 - 4/5.
+        assert!((o.max_inclusion_distance() - 0.2).abs() < 1e-12);
+        // Dice: 1 - 2*4/9.
+        assert!((o.dice_distance() - (1.0 - 8.0 / 9.0)).abs() < 1e-12);
+        // Cosine: 1 - 4/sqrt(4*5).
+        assert!((o.cosine_distance() - (1.0 - 4.0 / 20f64.sqrt())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_family_ordering_invariant() {
+        // For any pair: ID <= MD <= JD (smaller denominators forgive more)
+        // and DD <= JD, with all values in [0, 1].
+        let w = table(10);
+        let sets: [&[u32]; 6] = [
+            &[],
+            &[0],
+            &[0, 1, 2],
+            &[1, 2, 3, 4],
+            &[0, 1, 2, 3, 4, 5],
+            &[5, 6, 7, 8, 9],
+        ];
+        for a in sets {
+            for b in sets {
+                let o = overlap(a, b, &w);
+                let (id, md, jd, dd, cd) = (
+                    o.intersect_distance(),
+                    o.max_inclusion_distance(),
+                    o.jaccard_distance(),
+                    o.dice_distance(),
+                    o.cosine_distance(),
+                );
+                for d in [id, md, jd, dd, cd] {
+                    assert!((0.0..=1.0).contains(&d), "{a:?}/{b:?} -> {d}");
+                }
+                assert!(id <= md + 1e-12, "{a:?}/{b:?}: ID {id} > MD {md}");
+                assert!(md <= jd + 1e-12, "{a:?}/{b:?}: MD {md} > JD {jd}");
+                assert!(dd <= jd + 1e-12, "{a:?}/{b:?}: DD {dd} > JD {jd}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_token_ids_fall_back_to_unit_weight() {
+        // Ids beyond the table length weigh 1, so a table that is too small
+        // behaves exactly like equal weights.
+        let small = table(1);
+        let o_small = overlap(&[0, 7, 9], &[7, 9, 11], &small);
+        let o_equal = overlap(&[0, 7, 9], &[7, 9, 11], &table(12));
+        assert_eq!(o_small.jaccard_distance(), o_equal.jaccard_distance());
+        assert!((o_small.jaccard_distance() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn idf_weighted_jaccard_matches_hand_computation() {
+        use crate::vocab::Vocab;
+        let mut v = Vocab::new();
+        // 4 documents; "team" in all 4, "lsu"/"tigers" in 1 each.
+        v.add_document(&["team"]);
+        v.add_document(&["team"]);
+        v.add_document(&["team"]);
+        let a = v.add_document(&["team", "lsu"]);
+        let w = WeightTable::idf(&v);
+        let team = w.weight(a[0].min(a[1]));
+        let lsu = w.weight(a[0].max(a[1]));
+        // Rare tokens must weigh strictly more than ubiquitous ones.
+        assert!(lsu > team, "idf({lsu}) should exceed idf({team})");
+        let b = vec![a[0].min(a[1])]; // just {"team"}
+        let o = overlap(&a, &b, &w);
+        let expected = 1.0 - team / (team + lsu);
+        assert!((o.jaccard_distance() - expected).abs() < 1e-12);
+    }
 }

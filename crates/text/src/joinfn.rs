@@ -303,7 +303,8 @@ impl JoinFunctionSpace {
             false,
             "reduced-24",
         );
-        s.functions.push(JoinFunction::embedding(Preprocessing::Lower));
+        s.functions
+            .push(JoinFunction::embedding(Preprocessing::Lower));
         s.functions
             .push(JoinFunction::embedding(Preprocessing::LowerStemRemovePunct));
         s
@@ -433,10 +434,7 @@ mod tests {
             TokenWeighting::Equal,
             DistanceFunction::Jaccard,
         );
-        let d = f.distance_str(
-            "2007 LSU Tigers football team",
-            "LSU Tigers football team",
-        );
+        let d = f.distance_str("2007 LSU Tigers football team", "LSU Tigers football team");
         assert!((d - 0.2).abs() < 1e-9, "expected 0.2, got {d}");
     }
 
@@ -467,11 +465,7 @@ mod tests {
         let col = PreparedColumn::build(&["Grand Hotel Budapest", "Grand Hotel Budapest"]);
         for f in JoinFunctionSpace::full().functions() {
             let d = f.distance(&col, 0, 1);
-            assert!(
-                d < 1e-9,
-                "{} gave {d} for identical strings",
-                f.code()
-            );
+            assert!(d < 1e-9, "{} gave {d} for identical strings", f.code());
         }
     }
 

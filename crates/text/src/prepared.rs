@@ -91,8 +91,7 @@ impl PreparedColumn {
                 chars[pi] = s.chars().collect();
                 // Document embedding over space tokens of the preprocessed
                 // string with unit weights (spaCy-style mean vector).
-                embeddings[pi] =
-                    embed::embed_document(s.split_whitespace().map(|t| (t, 1.0)));
+                embeddings[pi] = embed::embed_document(s.split_whitespace().map(|t| (t, 1.0)));
                 for t in Tokenization::ALL {
                     let si = scheme_index(p, t);
                     let tokens = t.tokenize(&s);

@@ -184,10 +184,7 @@ mod tests {
 
     #[test]
     fn lower_only_keeps_punctuation() {
-        assert_eq!(
-            Preprocessing::Lower.apply("Hello, World!"),
-            "hello, world!"
-        );
+        assert_eq!(Preprocessing::Lower.apply("Hello, World!"), "hello, world!");
     }
 
     #[test]

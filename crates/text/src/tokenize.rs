@@ -48,7 +48,9 @@ pub fn space_tokenize(input: &str) -> Vec<String> {
 /// does with padding disabled).
 pub fn qgram_tokenize(input: &str, q: usize) -> Vec<String> {
     assert!(q >= 1, "q-gram size must be at least 1");
-    let chars: Vec<char> = crate::preprocess::normalize_whitespace(input).chars().collect();
+    let chars: Vec<char> = crate::preprocess::normalize_whitespace(input)
+        .chars()
+        .collect();
     if chars.is_empty() {
         return Vec::new();
     }

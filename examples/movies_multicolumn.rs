@@ -25,7 +25,11 @@ fn main() {
     );
     println!(
         "Columns: {:?}",
-        task.left.columns().iter().map(|c| c.name.as_str()).collect::<Vec<_>>()
+        task.left
+            .columns()
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect::<Vec<_>>()
     );
 
     let joiner = AutoFuzzyJoin::builder()
@@ -39,7 +43,12 @@ fn main() {
     let quality = evaluate_assignment(&result.assignment, &task.ground_truth);
 
     println!("\nSelected columns and weights:");
-    for (c, w) in result.program.columns.iter().zip(&result.program.column_weights) {
+    for (c, w) in result
+        .program
+        .columns
+        .iter()
+        .zip(&result.program.column_weights)
+    {
         println!("  {c:20} weight {w:.2}");
     }
     println!("\nJoin program: {}", result.program);

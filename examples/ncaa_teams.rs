@@ -55,7 +55,10 @@ fn main() {
     for pair in result.pairs.iter().take(5) {
         println!(
             "  {:50} -> {:50} (config #{}, est. precision {:.2})",
-            task.right[pair.right], task.left[pair.left], pair.config_index, pair.estimated_precision
+            task.right[pair.right],
+            task.left[pair.left],
+            pair.config_index,
+            pair.estimated_precision
         );
     }
 }

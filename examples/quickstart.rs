@@ -28,11 +28,11 @@ fn main() {
     let queries = Table::from_strings(
         "queries",
         [
-            "2007 LSU Tigers football",              // dropped token
+            "2007 LSU Tigers football",                 // dropped token
             "the 2008 Wisconsin Badgers football team", // extra token
-            "2007 Oregon Ducks Football Team (NCAA)", // casing + qualifier
-            "2008 Alabama Crimson Tide footbal team", // typo
-            "1995 Harvard Crimson rowing team",       // no counterpart in L
+            "2007 Oregon Ducks Football Team (NCAA)",   // casing + qualifier
+            "2008 Alabama Crimson Tide footbal team",   // typo
+            "1995 Harvard Crimson rowing team",         // no counterpart in L
         ],
     );
 

@@ -38,7 +38,10 @@ fn main() {
     audit("baseline", &base);
     for frac in [0.2, 0.5, 0.8] {
         let noisy = add_irrelevant_records(&base, &donor.left, frac, 7);
-        audit(&format!("+{:.0}% irrelevant R records", frac * 100.0), &noisy);
+        audit(
+            &format!("+{:.0}% irrelevant R records", frac * 100.0),
+            &noisy,
+        );
     }
     for frac in [0.2, 0.4] {
         let sparse = sparsify_reference(&base, frac, 11);

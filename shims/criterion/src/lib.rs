@@ -1,0 +1,203 @@
+//! Offline stand-in for [`criterion`](https://docs.rs/criterion).
+//!
+//! The build environment has no crate registry, so this shim keeps the
+//! criterion API the workspace's benches use (`criterion_group!`,
+//! `criterion_main!`, `Criterion::benchmark_group`, `sample_size`,
+//! `measurement_time`, `Bencher::iter`, `black_box`) and implements a
+//! minimal wall-clock harness: each benchmark is warmed up once, timed over
+//! `sample_size` batches, and the mean/min per-iteration times are printed.
+//! No statistics, plotting, or baseline comparison — swap in real criterion
+//! via the manifest when a registry is reachable.
+
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, re-exported from `std::hint`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== bench group: {name} ==");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size,
+            measurement_time: Duration::from_secs(1),
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        self.benchmark_group("ungrouped").bench_function(name, f);
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed samples to collect per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self.measurement_time = Duration::from_secs(1);
+        self
+    }
+
+    /// Upper bound on total measurement time per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement_time = time;
+        self
+    }
+
+    /// Time one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<String>, mut f: F) {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            report: None,
+        };
+        f(&mut bencher);
+        match bencher.report {
+            Some((mean, min, iters)) => println!(
+                "  {}/{id}: mean {} min {} ({iters} iters)",
+                self.name,
+                format_duration(mean),
+                format_duration(min),
+            ),
+            None => println!("  {}/{id}: no measurement", self.name),
+        }
+    }
+
+    /// End the group (printing is already done incrementally).
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; runs and times the workload.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    report: Option<(Duration, Duration, u64)>,
+}
+
+impl Bencher {
+    /// Time `routine`, running it repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One untimed warm-up call; also sizes the batch so each sample
+        // takes roughly measurement_time / sample_size.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+
+        let per_sample = self.measurement_time / self.sample_size as u32;
+        let batch = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut iters = 0u64;
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let sample = start.elapsed() / batch as u32;
+            total += sample;
+            min = min.min(sample);
+            iters += batch;
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        let samples = (iters / batch).max(1) as u32;
+        self.report = Some((total / samples, min, iters));
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.3}s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.3}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.3}µs", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+/// Collect benchmark functions into a runnable group, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` for a bench binary, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_times_a_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim_test");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(10));
+        let mut ran = 0u64;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran)
+            })
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn format_duration_scales() {
+        assert_eq!(format_duration(Duration::from_nanos(5)), "5ns");
+        assert!(format_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(5)).ends_with('s'));
+    }
+}

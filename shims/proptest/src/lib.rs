@@ -1,0 +1,605 @@
+//! Offline stand-in for [`proptest`](https://docs.rs/proptest).
+//!
+//! The build environment has no crate registry, so this shim reimplements
+//! the slice of proptest the workspace's property tests use: the
+//! [`Strategy`](strategy::Strategy) trait over numeric ranges, tuples,
+//! [`collection::vec`], [`option::of`] and [`string::string_regex`]; the
+//! [`proptest!`] macro (with `#![proptest_config(...)]`); and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from real proptest: cases are sampled from a deterministic
+//! per-test RNG (seeded from the test name), there is **no shrinking** on
+//! failure, and `string_regex` supports only the regex subset documented on
+//! [`string::string_regex`].  That is enough for fast, repeatable invariant
+//! checks under the tier-1 test gate.
+
+pub use rand;
+
+/// Strategies: types that know how to generate random values.
+pub mod strategy {
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        /// The type of the generated values.
+        type Value;
+
+        /// Sample one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+
+    /// A strategy that always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy for `Vec`s with a length drawn from `size`.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: core::ops::Range<usize>,
+    }
+
+    /// Generate vectors whose elements come from `element` and whose length
+    /// is uniform in `size`.
+    pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option`).
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy yielding `None` or `Some(inner)`.
+    pub struct OptionStrategy<S: Strategy> {
+        inner: S,
+    }
+
+    /// `None` with probability 1/4, otherwise `Some` of the inner strategy
+    /// (mirroring real proptest's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            if rng.gen_bool(0.25) {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// String strategies (`proptest::string`).
+pub mod string {
+    use super::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::seq::SliceRandom;
+    use rand::Rng;
+
+    /// Error for an unsupported or malformed pattern.
+    #[derive(Debug, Clone, PartialEq)]
+    pub struct Error(String);
+
+    impl core::fmt::Display for Error {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            write!(f, "string_regex: {}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    #[derive(Debug, Clone)]
+    enum Node {
+        Seq(Vec<Node>),
+        Alt(Vec<Node>),
+        Class(Vec<(char, char)>),
+        Lit(char),
+        Repeat(Box<Node>, u32, u32),
+    }
+
+    /// Strategy that generates strings matching a regex subset.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        root: Node,
+    }
+
+    /// Build a generator for strings matching `pattern`.
+    ///
+    /// Supported subset: literal characters, `.`, character classes like
+    /// `[A-Za-z0-9_]` (ranges and singletons, no negation), groups `(...)`,
+    /// alternation `|`, and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+    /// (`*`/`+` capped at 8 repetitions since generation must be finite).
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0usize;
+        let root = parse_alt(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(Error(format!("unexpected `{}` at {pos}", chars[pos])));
+        }
+        Ok(RegexGeneratorStrategy { root })
+    }
+
+    fn parse_alt(chars: &[char], pos: &mut usize) -> Result<Node, Error> {
+        let mut branches = vec![parse_seq(chars, pos)?];
+        while chars.get(*pos) == Some(&'|') {
+            *pos += 1;
+            branches.push(parse_seq(chars, pos)?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().unwrap()
+        } else {
+            Node::Alt(branches)
+        })
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize) -> Result<Node, Error> {
+        let mut atoms = Vec::new();
+        while let Some(&c) = chars.get(*pos) {
+            if c == ')' || c == '|' {
+                break;
+            }
+            let atom = match c {
+                '[' => parse_class(chars, pos)?,
+                '(' => {
+                    *pos += 1;
+                    let inner = parse_alt(chars, pos)?;
+                    if chars.get(*pos) != Some(&')') {
+                        return Err(Error("unclosed group".to_string()));
+                    }
+                    *pos += 1;
+                    inner
+                }
+                '.' => {
+                    *pos += 1;
+                    Node::Class(vec![(' ', '~')]) // printable ASCII
+                }
+                '\\' => {
+                    *pos += 1;
+                    let escaped = *chars
+                        .get(*pos)
+                        .ok_or_else(|| Error("dangling escape".to_string()))?;
+                    *pos += 1;
+                    match escaped {
+                        'd' => Node::Class(vec![('0', '9')]),
+                        'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                        's' => Node::Lit(' '),
+                        other => Node::Lit(other),
+                    }
+                }
+                '{' | '}' | '?' | '*' | '+' => {
+                    return Err(Error(format!("dangling quantifier `{c}` at {}", *pos)));
+                }
+                other => {
+                    *pos += 1;
+                    Node::Lit(other)
+                }
+            };
+            atoms.push(apply_quantifier(atom, chars, pos)?);
+        }
+        Ok(if atoms.len() == 1 {
+            atoms.pop().unwrap()
+        } else {
+            Node::Seq(atoms)
+        })
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> Result<Node, Error> {
+        *pos += 1; // consume '['
+        if chars.get(*pos) == Some(&'^') {
+            return Err(Error("negated classes are not supported".to_string()));
+        }
+        let mut ranges = Vec::new();
+        loop {
+            let c = *chars
+                .get(*pos)
+                .ok_or_else(|| Error("unclosed character class".to_string()))?;
+            if c == ']' {
+                *pos += 1;
+                break;
+            }
+            *pos += 1;
+            if chars.get(*pos) == Some(&'-') && chars.get(*pos + 1).is_some_and(|&e| e != ']') {
+                let end = chars[*pos + 1];
+                *pos += 2;
+                if end < c {
+                    return Err(Error(format!("inverted range {c}-{end}")));
+                }
+                ranges.push((c, end));
+            } else {
+                ranges.push((c, c));
+            }
+        }
+        if ranges.is_empty() {
+            return Err(Error("empty character class".to_string()));
+        }
+        Ok(Node::Class(ranges))
+    }
+
+    fn apply_quantifier(node: Node, chars: &[char], pos: &mut usize) -> Result<Node, Error> {
+        let (min, max) = match chars.get(*pos) {
+            Some('?') => {
+                *pos += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                *pos += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                *pos += 1;
+                (1, 8)
+            }
+            Some('{') => {
+                *pos += 1;
+                let start = *pos;
+                while chars.get(*pos).is_some_and(|&c| c != '}') {
+                    *pos += 1;
+                }
+                if chars.get(*pos) != Some(&'}') {
+                    return Err(Error("unclosed quantifier".to_string()));
+                }
+                let body: String = chars[start..*pos].iter().collect();
+                *pos += 1;
+                let parse_u32 = |s: &str| {
+                    s.trim()
+                        .parse::<u32>()
+                        .map_err(|_| Error(format!("bad quantifier `{{{body}}}`")))
+                };
+                match body.split_once(',') {
+                    Some((lo, hi)) => (parse_u32(lo)?, parse_u32(hi)?),
+                    None => {
+                        let n = parse_u32(&body)?;
+                        (n, n)
+                    }
+                }
+            }
+            _ => return Ok(node),
+        };
+        if max < min {
+            return Err(Error(format!("quantifier max {max} < min {min}")));
+        }
+        Ok(Node::Repeat(Box::new(node), min, max))
+    }
+
+    fn generate_node(node: &Node, rng: &mut SmallRng, out: &mut String) {
+        match node {
+            Node::Seq(parts) => {
+                for part in parts {
+                    generate_node(part, rng, out);
+                }
+            }
+            Node::Alt(branches) => {
+                let branch = branches.choose(rng).expect("alternation is non-empty");
+                generate_node(branch, rng, out);
+            }
+            Node::Class(ranges) => {
+                let &(lo, hi) = ranges.choose(rng).expect("class is non-empty");
+                let c = char::from_u32(rng.gen_range(lo as u32..=hi as u32))
+                    .expect("class range stays in valid chars");
+                out.push(c);
+            }
+            Node::Lit(c) => out.push(*c),
+            Node::Repeat(inner, min, max) => {
+                let n = rng.gen_range(*min..=*max);
+                for _ in 0..n {
+                    generate_node(inner, rng, out);
+                }
+            }
+        }
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+
+        fn generate(&self, rng: &mut SmallRng) -> String {
+            let mut out = String::new();
+            generate_node(&self.root, rng, &mut out);
+            out
+        }
+    }
+}
+
+/// Test-runner plumbing used by the [`proptest!`] macro expansion.
+pub mod test_runner {
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    /// Per-case control flow: rejection (assume failed) or assertion failure.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed; resample without counting the case.
+        Reject,
+        /// `prop_assert*` failed with a message.
+        Fail(String),
+    }
+
+    /// Runner configuration (`#![proptest_config(...)]`).
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of accepted cases each property must pass.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic RNG for one property, seeded from the test name so
+    /// failures reproduce run-to-run.
+    pub fn new_rng(test_name: &str) -> SmallRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= byte as u64;
+            hash = hash.wrapping_mul(0x1000_0000_01b3);
+        }
+        SmallRng::seed_from_u64(hash)
+    }
+}
+
+/// Everything the tests import via `use proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+}
+
+/// Assert inside a property; failure reports the case and fails the test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                ::std::format!(
+                    "assertion `left == right` failed\n  left: {:?}\n right: {:?}",
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Discard the current case (resampled without counting) when `cond` fails.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The property-test block: a config line plus `#[test]` functions whose
+/// arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr;
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $config;
+                let mut __rng = $crate::test_runner::new_rng(stringify!($name));
+                let mut __accepted: u32 = 0;
+                let mut __attempts: u32 = 0;
+                let __max_attempts = __config.cases.saturating_mul(20).max(100);
+                while __accepted < __config.cases {
+                    __attempts += 1;
+                    assert!(
+                        __attempts <= __max_attempts,
+                        "proptest shim: {} rejected too many cases (prop_assume too strict?)",
+                        stringify!($name),
+                    );
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    let __outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __outcome {
+                        ::std::result::Result::Ok(()) => __accepted += 1,
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject) => {}
+                        ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(__msg)) => {
+                            panic!("property {} failed: {}", stringify!($name), __msg);
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn string_regex_matches_shape() {
+        let strat =
+            crate::string::string_regex("[A-Za-z0-9]{1,8}( [A-Za-z0-9]{1,8}){0,5}").unwrap();
+        let mut rng = crate::test_runner::new_rng("shape");
+        for _ in 0..500 {
+            let s = strat.generate(&mut rng);
+            assert!(!s.is_empty());
+            for word in s.split(' ') {
+                assert!((1..=8).contains(&word.len()), "bad word in {s:?}");
+                assert!(word.chars().all(|c| c.is_ascii_alphanumeric()));
+            }
+            assert!(s.split(' ').count() <= 6);
+        }
+    }
+
+    #[test]
+    fn string_regex_alternation_and_escapes() {
+        let strat = crate::string::string_regex("(ab|cd)\\d+x?").unwrap();
+        let mut rng = crate::test_runner::new_rng("alt");
+        for _ in 0..200 {
+            let s = strat.generate(&mut rng);
+            assert!(s.starts_with("ab") || s.starts_with("cd"), "{s:?}");
+            let rest = s[2..].trim_end_matches('x');
+            assert!(
+                !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit()),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn string_regex_rejects_unsupported() {
+        assert!(crate::string::string_regex("[^a]").is_err());
+        assert!(crate::string::string_regex("(unclosed").is_err());
+        assert!(crate::string::string_regex("a{2,1}").is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, f in -1.0f64..1.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_and_option_compose(
+            mut items in crate::collection::vec(0usize..5, 2..6),
+            opt in crate::option::of(0usize..3),
+        ) {
+            items.sort_unstable();
+            prop_assert!((2..6).contains(&items.len()));
+            if let Some(v) = opt {
+                prop_assert!(v < 3);
+            }
+            prop_assert_eq!(items.last().copied(), items.iter().copied().max());
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(n in 0usize..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Offline stand-in for [`rayon`](https://docs.rs/rayon).
+//!
+//! The build environment has no network access to a crate registry, so this
+//! shim provides rayon's parallel-iterator *API* with **sequential**
+//! execution: `into_par_iter()` wraps the ordinary iterator and the adapter
+//! methods (`map`, `filter`, `reduce`, …) keep rayon's signatures — notably
+//! `reduce(identity, op)`, which differs from `Iterator::reduce` — so call
+//! sites compile unchanged.  Swapping in real rayon later is a
+//! manifest-level change only.
+
+use std::iter::{Filter, FlatMap, Map};
+
+/// Sequential stand-in for rayon's `ParallelIterator`.
+///
+/// Wraps a plain [`Iterator`] and exposes rayon-shaped combinators.
+pub struct ParIter<I: Iterator>(I);
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each item.
+    pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> ParIter<Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keep items matching the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Map each item to an iterator and flatten.
+    pub fn flat_map<T: IntoIterator, F: FnMut(I::Item) -> T>(
+        self,
+        f: F,
+    ) -> ParIter<FlatMap<I, T, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Rayon-style reduce: fold from a fresh identity value.
+    ///
+    /// Note the signature difference from [`Iterator::reduce`] — rayon takes
+    /// an identity *factory* so each worker can start its own accumulator.
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> I::Item
+    where
+        Id: Fn() -> I::Item,
+        Op: Fn(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Rayon tuning knob; a no-op here.
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+}
+
+/// Conversion into a (sequential) "parallel" iterator, mirroring rayon's
+/// `IntoParallelIterator`.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Consume `self` into a [`ParIter`].
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T: IntoIterator> IntoParallelIterator for T {
+    type Item = T::Item;
+    type Iter = T::IntoIter;
+
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Borrowing conversion, mirroring rayon's `IntoParallelRefIterator`
+/// (`.par_iter()`).
+pub trait IntoParallelRefIterator<'data> {
+    /// Item type (a reference).
+    type Item;
+    /// Underlying sequential iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+
+    /// Iterate `&self` as a [`ParIter`].
+    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+}
+
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for T
+where
+    &'data T: IntoIterator,
+{
+    type Item = <&'data T as IntoIterator>::Item;
+    type Iter = <&'data T as IntoIterator>::IntoIter;
+
+    fn par_iter(&'data self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+/// Drop-in for `rayon::prelude::*`.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn map_collect_matches_sequential() {
+        let out: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(out, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rayon_style_reduce_uses_identity() {
+        let set: HashSet<usize> = (0..5usize)
+            .into_par_iter()
+            .map(|x| HashSet::from([x]))
+            .reduce(HashSet::new, |mut a, b| {
+                a.extend(b);
+                a
+            });
+        assert_eq!(set.len(), 5);
+    }
+
+    #[test]
+    fn par_iter_borrows() {
+        let v = vec![1, 2, 3];
+        let sum: i32 = v.par_iter().map(|x| *x).sum();
+        assert_eq!(sum, 6);
+    }
+}

@@ -1,0 +1,500 @@
+//! Offline stand-in for [`serde_derive`](https://docs.rs/serde_derive).
+//!
+//! The build environment has no crate registry, so `syn`/`quote` are not
+//! available; this derive hand-parses the item's [`TokenStream`] (attributes,
+//! visibility, name, fields/variants) and emits impl blocks of the shim
+//! `serde` crate's `Serialize`/`Deserialize` traits as source strings.
+//!
+//! Supported shapes — everything this workspace derives on:
+//! * structs with named fields, tuple structs (newtype-transparent at arity
+//!   1), unit structs
+//! * enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde's default representation)
+//!
+//! Not supported (fails with a compile error rather than silently
+//! mis-serializing): generic items, unions, and `#[serde(...)]` attributes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+#[derive(Debug)]
+enum VariantData {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    data: VariantData,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skip any number of leading `#[...]` / `#![...]` attributes, rejecting
+/// `#[serde(...)]` — this shim does not implement serde attributes and
+/// honoring them silently would mis-serialize.
+fn skip_attributes(tokens: &mut Tokens) -> Result<(), String> {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Punct(p)) = tokens.peek() {
+                    if p.as_char() == '!' {
+                        tokens.next();
+                    }
+                }
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    let is_serde = matches!(
+                        g.stream().into_iter().next(),
+                        Some(TokenTree::Ident(i)) if i.to_string() == "serde"
+                    );
+                    if is_serde {
+                        return Err(
+                            "shim serde derive does not support #[serde(...)] attributes"
+                                .to_string(),
+                        );
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    Ok(())
+}
+
+/// Skip `pub`, `pub(crate)`, `pub(in ...)` if present.
+fn skip_visibility(tokens: &mut Tokens) {
+    if let Some(TokenTree::Ident(i)) = tokens.peek() {
+        if i.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Consume tokens until a top-level `,`, tracking `<`/`>` nesting so commas
+/// inside generic types (e.g. `HashMap<String, usize>`) don't split fields.
+/// Returns `false` when the stream ended without a comma.
+fn skip_until_comma(tokens: &mut Tokens) -> bool {
+    let mut angle_depth = 0i32;
+    for tree in tokens.by_ref() {
+        if let TokenTree::Punct(p) = &tree {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return true,
+                _ => {}
+            }
+        }
+    }
+    false
+}
+
+/// Parse the fields of a named-field body group into their names.
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut tokens: Tokens = group.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut tokens)?;
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            Some(TokenTree::Ident(name)) => {
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => return Err(format!("expected `:` after field name, got {other:?}")),
+                }
+                fields.push(name.to_string());
+                if !skip_until_comma(&mut tokens) {
+                    break;
+                }
+            }
+            None => break,
+            other => return Err(format!("expected field name, got {other:?}")),
+        }
+    }
+    Ok(fields)
+}
+
+/// Count the fields of a tuple body group (top-level comma-separated types).
+fn count_tuple_fields(group: TokenStream) -> Result<usize, String> {
+    let mut tokens: Tokens = group.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        skip_attributes(&mut tokens)?;
+        skip_visibility(&mut tokens);
+        if tokens.peek().is_none() {
+            break;
+        }
+        count += 1;
+        if !skip_until_comma(&mut tokens) {
+            break;
+        }
+    }
+    Ok(count)
+}
+
+fn parse_variants(group: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut tokens: Tokens = group.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut tokens)?;
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        let data = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let g = g.stream();
+                tokens.next();
+                VariantData::Tuple(count_tuple_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let g = g.stream();
+                tokens.next();
+                VariantData::Named(parse_named_fields(g)?)
+            }
+            _ => VariantData::Unit,
+        };
+        variants.push(Variant { name, data });
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        if !skip_until_comma(&mut tokens) {
+            break;
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens: Tokens = input.into_iter().peekable();
+    skip_attributes(&mut tokens)?;
+    skip_visibility(&mut tokens);
+
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    if kind != "struct" && kind != "enum" {
+        return Err(format!("cannot derive for `{kind}` items"));
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "shim serde derive does not support generics (on `{name}`)"
+            ));
+        }
+    }
+
+    if kind == "enum" {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(g.stream())?,
+            }),
+            other => Err(format!("expected enum body, got {other:?}")),
+        }
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream())?,
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("expected struct body, got {other:?}")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            (
+                name,
+                format!(
+                    "::serde::Value::Object(::std::vec![{}])",
+                    entries.join(", ")
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            "::serde::Serialize::serialize_value(&self.0)".to_string(),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let entries: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::serialize_value(&self.{i})"))
+                .collect();
+            (
+                name,
+                format!("::serde::Value::Array(::std::vec![{}])", entries.join(", ")),
+            )
+        }
+        Item::UnitStruct { name } => (name, "::serde::Value::Null".to_string()),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.data {
+                        VariantData::Unit => format!(
+                            "Self::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?}))"
+                        ),
+                        VariantData::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let inner = if *arity == 1 {
+                                "::serde::Serialize::serialize_value(__f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::serialize_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Array(::std::vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "Self::{vn}({binds}) => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from({vn:?}), {inner})])",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        VariantData::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::serialize_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "Self::{vn} {{ {fields} }} => ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from({vn:?}), \
+                                 ::serde::Value::Object(::std::vec![{entries}]))])",
+                                fields = fields.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            (name, format!("match self {{ {} }}", arms.join(", ")))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_named_constructor(path: &str, fields: &[String], obj_expr: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::__private::field({obj_expr}, {f:?})?"))
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::NamedStruct { name, fields } => {
+            let obj = "__v.as_object().ok_or_else(|| ::serde::Error::custom(\
+                       ::std::format!(\"expected object for struct, got {}\", __v.kind())))?";
+            (
+                name,
+                format!(
+                    "let __obj = {obj};\n\
+                     ::std::result::Result::Ok({})",
+                    gen_named_constructor("Self", fields, "__obj")
+                ),
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => (
+            name,
+            "::std::result::Result::Ok(Self(::serde::Deserialize::deserialize_value(__v)?))"
+                .to_string(),
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::deserialize_value(&__items[{i}])?"))
+                .collect();
+            (
+                name,
+                format!(
+                    "let __items = __v.as_array().ok_or_else(|| ::serde::Error::custom(\
+                     ::std::format!(\"expected array for tuple struct, got {{}}\", __v.kind())))?;\n\
+                     if __items.len() != {arity} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"expected {arity} elements, got {{}}\", __items.len())));\n\
+                     }}\n\
+                     ::std::result::Result::Ok(Self({}))",
+                    items.join(", ")
+                ),
+            )
+        }
+        Item::UnitStruct { name } => (name, "::std::result::Result::Ok(Self)".to_string()),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.data, VariantData::Unit))
+                .map(|v| {
+                    format!(
+                        "{:?} => return ::std::result::Result::Ok(Self::{})",
+                        v.name, v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    let build = match &v.data {
+                        VariantData::Unit => return None,
+                        VariantData::Tuple(1) => format!(
+                            "::std::result::Result::Ok(Self::{vn}(\
+                             ::serde::Deserialize::deserialize_value(__inner)?))"
+                        ),
+                        VariantData::Tuple(arity) => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::deserialize_value(&__items[{i}])?")
+                                })
+                                .collect();
+                            format!(
+                                "{{ let __items = __inner.as_array().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected array for tuple variant\"))?;\n\
+                                 if __items.len() != {arity} {{\n\
+                                     return ::std::result::Result::Err(::serde::Error::custom(\
+                                     \"wrong tuple variant arity\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok(Self::{vn}({})) }}",
+                                items.join(", ")
+                            )
+                        }
+                        VariantData::Named(fields) => {
+                            let ctor =
+                                gen_named_constructor(&format!("Self::{vn}"), fields, "__obj");
+                            format!(
+                                "{{ let __obj = __inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected object for struct variant\"))?;\n\
+                                 ::std::result::Result::Ok({ctor}) }}"
+                            )
+                        }
+                    };
+                    Some(format!("{vn:?} => {build}"))
+                })
+                .collect();
+            let mut body = String::new();
+            body.push_str(
+                "if let ::std::option::Option::Some(__s) = __v.as_str() {\n    match __s {\n",
+            );
+            for arm in &unit_arms {
+                body.push_str("        ");
+                body.push_str(arm);
+                body.push_str(",\n");
+            }
+            body.push_str("        _ => {}\n    }\n}\n");
+            if !tagged_arms.is_empty() {
+                body.push_str(
+                    "if let ::std::option::Option::Some([(__tag, __inner)]) = \
+                     __v.as_object().map(|__o| __o) {\n    match __tag.as_str() {\n",
+                );
+                for arm in &tagged_arms {
+                    body.push_str("        ");
+                    body.push_str(arm);
+                    body.push_str(",\n");
+                }
+                body.push_str("        _ => {}\n    }\n}\n");
+            }
+            body.push_str(&format!(
+                "::std::result::Result::Err(::serde::__private::unknown_variant({name:?}, __v))"
+            ));
+            (name, body)
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(__v: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+/// Derive the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("derive(Serialize) codegen error: {e}"))),
+        Err(e) => compile_error(&format!("derive(Serialize): {e}")),
+    }
+}
+
+/// Derive the shim `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .unwrap_or_else(|e| compile_error(&format!("derive(Deserialize) codegen error: {e}"))),
+        Err(e) => compile_error(&format!("derive(Deserialize): {e}")),
+    }
+}

@@ -52,7 +52,7 @@ proptest! {
         names.dedup();
         prop_assume!(names.len() >= 5);
         let probe = names[pick % names.len()].clone();
-        let out = Blocker::new().block(&names, &[probe.clone()]);
+        let out = Blocker::new().block(&names, std::slice::from_ref(&probe));
         let target = names.iter().position(|n| *n == probe).unwrap();
         prop_assert!(out.left_candidates_of_right[0].contains(&target));
     }
