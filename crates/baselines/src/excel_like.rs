@@ -1,7 +1,7 @@
 //! Excel Fuzzy-Lookup-style matcher (`Excel` in the paper).
 //!
 //! The paper describes the Excel add-in as the strongest unsupervised
-//! baseline: "a variant of the generalized fuzzy similarity [17], which is a
+//! baseline: "a variant of the generalized fuzzy similarity \[17\], which is a
 //! weighted combination of multiple distance functions", with weights and
 //! pre-processing carefully tuned (once, globally — not per dataset).  We
 //! implement that description: a fixed weighted blend of IDF-weighted token

@@ -2,7 +2,8 @@
 //! family of Table 1).
 
 use autofj_text::{
-    DistanceFunction, JoinFunction, PreparedColumn, Preprocessing, TokenWeighting, Tokenization,
+    DistanceFunction, JoinFunction, JoinFunctionSpace, PreparedColumn, Preprocessing,
+    TokenWeighting, Tokenization,
 };
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use std::time::Duration;
@@ -77,6 +78,19 @@ fn bench_distances(c: &mut Criterion) {
             })
         });
     }
+    group.finish();
+
+    // The whole reduced-24 configuration space over a pair batch — the
+    // parallel entry point the search's pre-compute workload resembles.
+    let space = JoinFunctionSpace::reduced24();
+    let pairs: Vec<(usize, usize)> = (0..200).map(|i| (i, (i * 7 + 13) % 200)).collect();
+    let mut group = c.benchmark_group("space_batch");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("reduced24_batch_200_pairs", |b| {
+        b.iter(|| black_box(space.batch_distances(&col, &pairs)))
+    });
     group.finish();
 
     let mut group = c.benchmark_group("prepare_column");

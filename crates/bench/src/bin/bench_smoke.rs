@@ -1,0 +1,143 @@
+//! CI bench-smoke: a reduced benchmark that measures the multi-threaded
+//! execution engine and seeds the `BENCH_*.json` perf trajectory.
+//!
+//! Runs the quickstart/table2 pipeline (blocking → negative rules →
+//! precision pre-compute → greedy union search) on one small datagen task,
+//! once with 1 worker thread and once with `AUTOFJ_BENCH_THREADS` (default
+//! 4), verifies the two runs produce a byte-identical `JoinResult`, and
+//! writes the timings to `target/experiments/BENCH_pr3.json` (plus a copy at
+//! `AUTOFJ_BENCH_OUT` when set), which CI uploads as a workflow artifact.
+//!
+//! ```bash
+//! AUTOFJ_SCALE=small cargo run --release -p autofj-bench --bin bench_smoke
+//! ```
+//!
+//! Exits non-zero if the single- and multi-thread results differ, so the
+//! smoke job doubles as a cross-thread determinism gate.
+
+use autofj_bench::runner::{autofj_options, env_scale, run_autofj};
+use autofj_bench::{write_json, Reporter};
+use autofj_core::JoinResult;
+use autofj_datagen::benchmark_specs;
+use autofj_text::JoinFunctionSpace;
+use serde::Serialize;
+
+/// One timed pipeline execution at a fixed thread count.
+#[derive(Debug, Clone, Serialize)]
+struct BenchRun {
+    threads: usize,
+    seconds: f64,
+    joined: usize,
+    estimated_precision: f64,
+    actual_precision: f64,
+    actual_recall: f64,
+}
+
+/// The persisted smoke report — one entry of the benchmark trajectory.
+#[derive(Debug, Clone, Serialize)]
+struct BenchSmokeReport {
+    task: String,
+    size: (usize, usize),
+    space: String,
+    host_parallelism: usize,
+    runs: Vec<BenchRun>,
+    /// Wall-clock ratio of the 1-thread run over the multi-thread run.
+    speedup: f64,
+    /// Whether every run produced a byte-identical serialized `JoinResult`.
+    identical_results: bool,
+}
+
+fn main() {
+    let scale = env_scale();
+    // A mid-sized, structurally interesting domain; index 36 is the same
+    // task the runner's own tests exercise.
+    let task = benchmark_specs(scale)[36].generate();
+    // Default to the reduced 24-function space so the smoke run stays fast;
+    // AUTOFJ_SPACE selects a bigger space for deeper benchmarking sessions.
+    let space = match std::env::var("AUTOFJ_SPACE") {
+        Ok(_) => autofj_bench::runner::env_space(),
+        Err(_) => JoinFunctionSpace::reduced24(),
+    };
+    let options = autofj_options();
+    let multi_threads: usize = std::env::var("AUTOFJ_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 1)
+        .unwrap_or(4);
+
+    // Untimed warm-up so one-time costs (allocator growth, lazy tables,
+    // page faults) are not attributed to whichever leg happens to run first.
+    let _ = run_autofj(&task, &space, &options);
+
+    let mut runs = Vec::new();
+    let mut serialized: Vec<String> = Vec::new();
+    for threads in [1usize, multi_threads] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("configure shim pool");
+        let (result, quality, _pepcc, seconds): (JoinResult, _, _, _) =
+            run_autofj(&task, &space, &options);
+        serialized.push(serde_json::to_string(&result).expect("JoinResult serializes"));
+        runs.push(BenchRun {
+            threads,
+            seconds,
+            joined: result.num_joined(),
+            estimated_precision: result.estimated_precision,
+            actual_precision: quality.precision,
+            actual_recall: quality.recall_relative,
+        });
+    }
+    // Restore the environment-driven default for anything running after us.
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global()
+        .expect("reset shim pool");
+
+    let identical = serialized.windows(2).all(|w| w[0] == w[1]);
+    let speedup = runs[0].seconds / runs[1].seconds.max(1e-9);
+    let report = BenchSmokeReport {
+        task: task.name.clone(),
+        size: (task.left.len(), task.right.len()),
+        space: space.label().to_string(),
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        runs,
+        speedup,
+        identical_results: identical,
+    };
+
+    let mut table = Reporter::new(
+        "bench-smoke: single vs multi thread",
+        &["Threads", "Seconds", "Joined", "EstP", "P", "R"],
+    );
+    for r in &report.runs {
+        table.add_row(vec![
+            r.threads.to_string(),
+            format!("{:.3}", r.seconds),
+            r.joined.to_string(),
+            format!("{:.3}", r.estimated_precision),
+            format!("{:.3}", r.actual_precision),
+            format!("{:.3}", r.actual_recall),
+        ]);
+    }
+    table.print();
+    println!(
+        "speedup (1 -> {multi_threads} threads): {:.2}x, identical results: {}",
+        report.speedup, report.identical_results
+    );
+
+    let path = write_json("BENCH_pr3", &report);
+    println!("wrote {}", path.display());
+    if let Ok(extra) = std::env::var("AUTOFJ_BENCH_OUT") {
+        if let Err(e) = std::fs::copy(&path, &extra) {
+            eprintln!("could not copy report to {extra}: {e}");
+        } else {
+            println!("wrote {extra}");
+        }
+    }
+
+    if !report.identical_results {
+        eprintln!("ERROR: results differ across thread counts");
+        std::process::exit(1);
+    }
+}

@@ -18,6 +18,12 @@
 //!   all 50).
 //! * `AUTOFJ_SPACE` — `24` | `38` | `70` | `140` (default 140): configuration
 //!   space used by AutoFJ.
+//! * `RAYON_NUM_THREADS` — worker threads of the execution engine; every
+//!   score row records the count it was measured with (`threads` field).
+//!
+//! The `bench_smoke` binary is the CI perf gate: it times the pipeline at 1
+//! and `AUTOFJ_BENCH_THREADS` (default 4) threads, checks the results are
+//! byte-identical, and writes the `BENCH_pr3.json` trajectory report.
 
 pub mod report;
 pub mod runner;

@@ -29,6 +29,9 @@ pub struct MethodScores {
     pub pr_auc: f64,
     /// Wall-clock seconds.
     pub seconds: f64,
+    /// Worker threads the execution engine used for this measurement, so
+    /// recorded timings are comparable across benchmark runs.
+    pub threads: usize,
 }
 
 /// Everything measured on one task.
@@ -49,6 +52,8 @@ pub struct TaskOutcome {
     pub pepcc: f64,
     /// AutoFJ wall-clock seconds.
     pub autofj_seconds: f64,
+    /// Worker threads the execution engine used for this measurement.
+    pub threads: usize,
     /// Baseline scores (adjusted recall computed at AutoFJ's precision).
     pub baselines: Vec<MethodScores>,
 }
@@ -188,6 +193,7 @@ fn score_predictions(
         adjusted_recall: ar.recall_relative,
         pr_auc: auc,
         seconds,
+        threads: rayon::current_num_threads(),
     }
 }
 
@@ -233,6 +239,7 @@ pub fn run_full_comparison(
             adjusted_recall: q.recall_relative,
             pr_auc: 0.0,
             seconds: s,
+            threads: rayon::current_num_threads(),
         });
         // AutoFJ-NR: no negative rules.
         let nr_options = AutoFjOptions {
@@ -246,6 +253,7 @@ pub fn run_full_comparison(
             adjusted_recall: q.recall_relative,
             pr_auc: 0.0,
             seconds: s,
+            threads: rayon::current_num_threads(),
         });
     }
 
@@ -259,6 +267,7 @@ pub fn run_full_comparison(
         autofj_recall: quality.recall_relative,
         pepcc,
         autofj_seconds,
+        threads: rayon::current_num_threads(),
         baselines,
     }
 }
@@ -285,8 +294,10 @@ mod tests {
         assert_eq!(outcome.baselines.len(), 5);
         for b in &outcome.baselines {
             assert!((0.0..=1.0).contains(&b.adjusted_recall), "{b:?}");
+            assert!(b.threads >= 1);
         }
         assert!(outcome.ubr > 0.0);
+        assert_eq!(outcome.threads, rayon::current_num_threads());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use autofj_text::preprocess::Preprocessing;
 use autofj_text::tokenize::qgram_tokenize;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -151,30 +152,34 @@ impl Blocker {
     }
 
     /// Run blocking over raw strings, producing L–R and L–L candidate sets.
-    pub fn block<S1: AsRef<str>, S2: AsRef<str>>(
+    ///
+    /// Gram extraction and the top-k probes are evaluated in parallel over
+    /// records (the inverted index is built once, then shared read-only by
+    /// all probe workers); candidate lists keep the same deterministic
+    /// order regardless of thread count.
+    pub fn block<S1: AsRef<str> + Sync, S2: AsRef<str> + Sync>(
         &self,
         left: &[S1],
         right: &[S2],
     ) -> BlockingOutput {
         let prep = Preprocessing::Lower;
         let left_grams: Vec<Vec<String>> = left
-            .iter()
+            .par_iter()
             .map(|s| qgram_tokenize(&prep.apply(s.as_ref()), 3))
             .collect();
         let right_grams: Vec<Vec<String>> = right
-            .iter()
+            .par_iter()
             .map(|s| qgram_tokenize(&prep.apply(s.as_ref()), 3))
             .collect();
         let index = GramIndex::build(&left_grams);
         let k = self.candidates_per_record(left.len());
         let left_candidates_of_right = right_grams
-            .iter()
+            .par_iter()
             .map(|g| index.top_k(g, k, None))
             .collect();
-        let left_candidates_of_left = left_grams
-            .iter()
-            .enumerate()
-            .map(|(li, g)| index.top_k(g, k, Some(li)))
+        let left_candidates_of_left = (0..left_grams.len())
+            .into_par_iter()
+            .map(|li| index.top_k(&left_grams[li], k, Some(li)))
             .collect();
         BlockingOutput {
             left_candidates_of_right,

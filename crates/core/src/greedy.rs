@@ -13,6 +13,7 @@
 
 use crate::estimate::Precompute;
 use crate::options::{AutoFjOptions, BallMode};
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
 /// A candidate configuration identified by its position in the pre-compute.
@@ -192,10 +193,19 @@ pub fn run_greedy(pre: &Precompute, options: &AutoFjOptions) -> GreedyOutcome {
         if candidates.is_empty() {
             break;
         }
-        // Line 7-10: find the candidate with maximal profit(U ∪ {C}).
+        // Line 7-10: find the candidate with maximal profit(U ∪ {C}).  Every
+        // candidate's delta against the frozen assignment is independent, so
+        // the evaluation fans out over the pool; the argmax scan below stays
+        // sequential in candidate order, which preserves the exact
+        // first-wins tie-breaking of the sequential algorithm at any thread
+        // count.
+        let deltas: Vec<Delta> = candidates
+            .par_iter()
+            .with_min_len(16)
+            .map(|&cand| evaluate_candidate(pre, &assignment, cand, ball))
+            .collect();
         let mut best: Option<(usize, Delta, f64)> = None;
-        for (ci, &cand) in candidates.iter().enumerate() {
-            let delta = evaluate_candidate(pre, &assignment, cand, ball);
+        for (ci, delta) in deltas.into_iter().enumerate() {
             if delta.tp <= 0.0 {
                 continue;
             }
@@ -249,8 +259,13 @@ fn run_single_best(pre: &Precompute, options: &AutoFjOptions) -> GreedyOutcome {
     let ball = options.ball_mode;
     let empty: Vec<Option<Assigned>> = vec![None; pre.num_right()];
     let mut best: Option<(CandidateConfig, Delta)> = None;
-    for cand in candidate_configs(pre) {
-        let delta = evaluate_candidate(pre, &empty, cand, ball);
+    let candidates = candidate_configs(pre);
+    let deltas: Vec<Delta> = candidates
+        .par_iter()
+        .with_min_len(16)
+        .map(|&cand| evaluate_candidate(pre, &empty, cand, ball))
+        .collect();
+    for (cand, delta) in candidates.into_iter().zip(deltas) {
         if delta.tp <= 0.0 {
             continue;
         }

@@ -24,6 +24,7 @@ use crate::program::JoinResult;
 use crate::single::{assemble_result, filter_candidates, join_with_oracle};
 use crate::table::Table;
 use autofj_text::{JoinFunctionSpace, PreparedColumn};
+use rayon::prelude::*;
 
 /// Run multi-column Auto-FuzzyJoin over two tables with the same number of
 /// columns (aligned by position).
@@ -77,8 +78,11 @@ pub fn join_multi_column(
     let ll_candidates = &blocking.left_candidates_of_left;
 
     // Per-column prepared text and the distance cache shared by all weight
-    // vectors tried below.
+    // vectors tried below.  Columns are prepared in parallel; the
+    // per-record parallelism inside PreparedColumn::build detects it is
+    // nested and stays sequential, so the pool is not oversubscribed.
     let prepared: Vec<PreparedColumn> = (0..m)
+        .into_par_iter()
         .map(|c| {
             let mut vals: Vec<&str> = left.column(c).values.iter().map(String::as_str).collect();
             vals.extend(right.column(c).values.iter().map(String::as_str));
@@ -113,7 +117,12 @@ pub fn join_multi_column(
             .as_ref()
             .map(|o: &crate::greedy::GreedyOutcome| o.estimated_recall())
             .unwrap_or(0.0);
-        let mut round_best: Option<(crate::greedy::GreedyOutcome, Vec<f64>, usize)> = None;
+        // Enumerate every (column, mixing ratio) blend of the round in the
+        // sequential algorithm's order, evaluate them all in parallel (each
+        // is an independent full Algorithm 1 run over the shared cache), then
+        // scan in order so the strictly-greater tie-breaking — and thus the
+        // selected blend — is identical at any thread count.
+        let mut blends: Vec<(usize, Vec<f64>)> = Vec::new();
         for &j in &remaining {
             let alphas: Vec<f64> = if w.iter().all(|&x| x == 0.0) {
                 // With an all-zero starting vector every α yields the same
@@ -125,14 +134,21 @@ pub fn join_multi_column(
             for alpha in alphas {
                 let mut w_prime: Vec<f64> = w.iter().map(|&x| (1.0 - alpha) * x).collect();
                 w_prime[j] += alpha;
-                let outcome = evaluate(&w_prime);
-                let better = match &round_best {
-                    None => true,
-                    Some((b, _, _)) => outcome.estimated_recall() > b.estimated_recall(),
-                };
-                if better {
-                    round_best = Some((outcome, w_prime, j));
-                }
+                blends.push((j, w_prime));
+            }
+        }
+        let outcomes: Vec<crate::greedy::GreedyOutcome> = blends
+            .par_iter()
+            .map(|(_, w_prime)| evaluate(w_prime))
+            .collect();
+        let mut round_best: Option<(crate::greedy::GreedyOutcome, Vec<f64>, usize)> = None;
+        for ((j, w_prime), outcome) in blends.into_iter().zip(outcomes) {
+            let better = match &round_best {
+                None => true,
+                Some((b, _, _)) => outcome.estimated_recall() > b.estimated_recall(),
+            };
+            if better {
+                round_best = Some((outcome, w_prime, j));
             }
         }
         match round_best {

@@ -10,6 +10,7 @@ use crate::options::AutoFjOptions;
 use crate::oracle::{DistanceOracle, SingleColumnOracle};
 use crate::program::{Config, JoinProgram, JoinResult, JoinedPair};
 use autofj_text::JoinFunctionSpace;
+use rayon::prelude::*;
 
 /// Run single-column Auto-FuzzyJoin over raw string columns.
 pub fn join_single_column(
@@ -54,7 +55,8 @@ pub fn join_single_column(
 }
 
 /// Remove candidate pairs forbidden by the learned negative rules
-/// (Algorithm 2, lines 8–12).
+/// (Algorithm 2, lines 8–12).  Each right record's candidate list is
+/// filtered independently in parallel.
 pub(crate) fn filter_candidates(
     left: &[String],
     right: &[String],
@@ -64,11 +66,10 @@ pub(crate) fn filter_candidates(
     if rules.is_empty() {
         return lr_candidates.to_vec();
     }
-    lr_candidates
-        .iter()
-        .enumerate()
-        .map(|(r, cands)| {
-            cands
+    (0..lr_candidates.len())
+        .into_par_iter()
+        .map(|r| {
+            lr_candidates[r]
                 .iter()
                 .copied()
                 .filter(|&l| !rules.forbids(&left[l], &right[r]))

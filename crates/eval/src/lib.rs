@@ -8,7 +8,7 @@
 //! * [`adjusted`] — the *adjusted recall* protocol: for a baseline that emits
 //!   similarity scores, find the score threshold whose precision is "closest
 //!   to but not greater than" a target precision and report the recall there.
-//! * [`pr_curve`] — precision–recall curves and PR-AUC.
+//! * [`mod@pr_curve`] — precision–recall curves and PR-AUC.
 //! * [`ubr`] — the Upper Bound of Recall: the fraction of ground-truth pairs
 //!   that *any* configuration in the search space could produce as a
 //!   nearest-neighbour match.

@@ -19,6 +19,7 @@ use crate::prepared::{prep_index, scheme_index, PreparedColumn};
 use crate::preprocess::Preprocessing;
 use crate::tokenize::Tokenization;
 use crate::weights::TokenWeighting;
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -375,6 +376,20 @@ impl JoinFunctionSpace {
             label: label.to_string(),
         }
     }
+
+    /// Evaluate every function of the space over a batch of `(left, right)`
+    /// record-index pairs of a prepared column, in parallel over functions.
+    ///
+    /// Returns one distance vector per function, aligned with
+    /// [`Self::functions`] and with `pairs` — the batched equivalent of
+    /// calling [`JoinFunction::distance`] in two nested loops, and the
+    /// entry point future sharding/batching layers distribute over workers.
+    pub fn batch_distances(&self, col: &PreparedColumn, pairs: &[(usize, usize)]) -> Vec<Vec<f64>> {
+        self.functions
+            .par_iter()
+            .map(|f| pairs.iter().map(|&(l, r)| f.distance(col, l, r)).collect())
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -480,6 +495,26 @@ mod tests {
         assert_eq!(format!("{f}"), "(L+S, 3G, IDFW, CD)");
         let g = JoinFunction::char_based(Preprocessing::Lower, DistanceFunction::Edit);
         assert_eq!(g.code(), "(L, ED)");
+    }
+
+    #[test]
+    fn batch_distances_match_pointwise_evaluation() {
+        let space = JoinFunctionSpace::reduced24();
+        let col = PreparedColumn::build(&[
+            "2007 LSU Tigers football team",
+            "2007 LSU Tigers football",
+            "Mississippi State Bulldogs",
+            "",
+        ]);
+        let pairs = vec![(0usize, 1usize), (0, 2), (2, 3), (1, 1)];
+        let batched = space.batch_distances(&col, &pairs);
+        assert_eq!(batched.len(), space.len());
+        for (f, row) in space.functions().iter().zip(&batched) {
+            assert_eq!(row.len(), pairs.len());
+            for (&(l, r), &d) in pairs.iter().zip(row) {
+                assert_eq!(d, f.distance(&col, l, r), "{} diverged", f.code());
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::preprocess::Preprocessing;
 use crate::tokenize::Tokenization;
 use crate::vocab::Vocab;
 use crate::weights::{TokenWeighting, WeightTable};
+use rayon::prelude::*;
 
 /// Number of pre-processing variants.
 pub const NUM_PREP: usize = 4;
@@ -74,38 +75,79 @@ pub struct PreparedColumn {
     equal_tables: [WeightTable; NUM_SCHEMES],
 }
 
+/// Per-record output of the parallel preparation phase, before tokens are
+/// interned into the shared vocabularies.
+struct RawPrepared {
+    raw: String,
+    strings: [String; NUM_PREP],
+    chars: [Vec<char>; NUM_PREP],
+    embeddings: [Embedding; NUM_PREP],
+    /// Raw token strings per scheme (interned sequentially afterwards so
+    /// vocabulary ids stay deterministic regardless of thread count).
+    tokens: [Vec<String>; NUM_SCHEMES],
+}
+
+/// Records prepared in parallel per batch; bounds how much un-interned
+/// token text (8 `Vec<String>` lists per record) is alive at once, so peak
+/// memory stays close to the old fully-sequential build.
+const PREPARE_BATCH: usize = 4096;
+
 impl PreparedColumn {
     /// Build a prepared column from raw strings.
-    pub fn build<S: AsRef<str>>(strings: &[S]) -> Self {
+    ///
+    /// The per-record work (pre-processing, character decomposition,
+    /// embedding, tokenization) runs in parallel over fixed-size batches;
+    /// token interning then runs sequentially in record order within each
+    /// batch, so token ids — and everything derived from them — are
+    /// identical at every thread count.
+    pub fn build<S: AsRef<str> + Sync>(strings: &[S]) -> Self {
         let mut vocabs: [Vocab; NUM_SCHEMES] = Default::default();
         let mut records = Vec::with_capacity(strings.len());
-        for raw in strings {
-            let raw = raw.as_ref();
-            let mut prepped: [String; NUM_PREP] = Default::default();
-            let mut chars: [Vec<char>; NUM_PREP] = Default::default();
-            let mut embeddings = [[0f32; embed::DIM]; NUM_PREP];
-            let mut token_sets: [Vec<u32>; NUM_SCHEMES] = Default::default();
-            for p in Preprocessing::ALL {
-                let pi = prep_index(p);
-                let s = p.apply(raw);
-                chars[pi] = s.chars().collect();
-                // Document embedding over space tokens of the preprocessed
-                // string with unit weights (spaCy-style mean vector).
-                embeddings[pi] = embed::embed_document(s.split_whitespace().map(|t| (t, 1.0)));
-                for t in Tokenization::ALL {
-                    let si = scheme_index(p, t);
-                    let tokens = t.tokenize(&s);
-                    token_sets[si] = vocabs[si].add_document(&tokens);
+        for batch in strings.chunks(PREPARE_BATCH.max(1)) {
+            let raw_records: Vec<RawPrepared> = batch
+                .par_iter()
+                .map(|raw| {
+                    let raw = raw.as_ref();
+                    let mut prepped: [String; NUM_PREP] = Default::default();
+                    let mut chars: [Vec<char>; NUM_PREP] = Default::default();
+                    let mut embeddings = [[0f32; embed::DIM]; NUM_PREP];
+                    let mut tokens: [Vec<String>; NUM_SCHEMES] = Default::default();
+                    for p in Preprocessing::ALL {
+                        let pi = prep_index(p);
+                        let s = p.apply(raw);
+                        chars[pi] = s.chars().collect();
+                        // Document embedding over space tokens of the
+                        // preprocessed string with unit weights (spaCy-style
+                        // mean vector).
+                        embeddings[pi] =
+                            embed::embed_document(s.split_whitespace().map(|t| (t, 1.0)));
+                        for t in Tokenization::ALL {
+                            tokens[scheme_index(p, t)] = t.tokenize(&s);
+                        }
+                        prepped[pi] = s;
+                    }
+                    RawPrepared {
+                        raw: raw.to_string(),
+                        strings: prepped,
+                        chars,
+                        embeddings,
+                        tokens,
+                    }
+                })
+                .collect();
+            for rec in raw_records {
+                let mut token_sets: [Vec<u32>; NUM_SCHEMES] = Default::default();
+                for (si, tokens) in rec.tokens.iter().enumerate() {
+                    token_sets[si] = vocabs[si].add_document(tokens);
                 }
-                prepped[pi] = s;
+                records.push(PreparedRecord {
+                    raw: rec.raw,
+                    strings: rec.strings,
+                    chars: rec.chars,
+                    token_sets,
+                    embeddings: rec.embeddings,
+                });
             }
-            records.push(PreparedRecord {
-                raw: raw.to_string(),
-                strings: prepped,
-                chars,
-                token_sets,
-                embeddings,
-            });
         }
         let idf_tables = std::array::from_fn(|i| WeightTable::idf(&vocabs[i]));
         let equal_tables = std::array::from_fn(|i| WeightTable::equal(vocabs[i].len()));

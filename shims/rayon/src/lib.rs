@@ -1,95 +1,429 @@
-//! Offline stand-in for [`rayon`](https://docs.rs/rayon).
+//! Offline stand-in for [`rayon`](https://docs.rs/rayon) with a real
+//! multi-threaded execution engine.
 //!
 //! The build environment has no network access to a crate registry, so this
-//! shim provides rayon's parallel-iterator *API* with **sequential**
-//! execution: `into_par_iter()` wraps the ordinary iterator and the adapter
-//! methods (`map`, `filter`, `reduce`, …) keep rayon's signatures — notably
-//! `reduce(identity, op)`, which differs from `Iterator::reduce` — so call
-//! sites compile unchanged.  Swapping in real rayon later is a
-//! manifest-level change only.
+//! shim provides rayon's parallel-iterator *API* backed by a chunked
+//! work-distribution pool built on [`std::thread::scope`]:
+//!
+//! * [`IntoParallelIterator::into_par_iter`] materializes the input and
+//!   splits it into `current_num_threads()` contiguous chunks, preserving the
+//!   input order.
+//! * The combinators (`map`, `filter`, `flat_map`, …) build a fused,
+//!   monomorphized transform chain that each worker applies to its own chunk
+//!   — no locks, no per-item allocation, no work stealing.
+//! * Terminal operations join the per-chunk outputs **in chunk order**, so
+//!   `collect` is an order-preserving indexed collect and results are
+//!   byte-identical regardless of thread count.
+//! * `reduce(identity, op)` keeps rayon's semantics: every worker folds its
+//!   chunk starting from its **own** `identity()` value, and the per-chunk
+//!   results are folded (again starting from `identity()`) in chunk order.
+//!
+//! The pool size is `RAYON_NUM_THREADS` when set to a positive integer,
+//! otherwise [`std::thread::available_parallelism`]; a process-wide override
+//! can be installed with [`ThreadPoolBuilder::build_global`].  Parallel
+//! operations issued from *inside* a pool worker run sequentially on that
+//! worker, so nesting never multiplies the thread count (real rayon gets the
+//! same bound from its single shared pool).
+//!
+//! Closures must be `Fn + Sync` (not `FnMut`) exactly as with real rayon, so
+//! production call sites compile unchanged against the real crate and
+//! swapping it in is a manifest-level change.  The one deliberate behavioral
+//! divergence is that [`ThreadPoolBuilder::build_global`] may be called
+//! repeatedly (see its docs): code that re-sizes the pool mid-process — the
+//! cross-thread determinism tests and the `bench_smoke` binary — would need
+//! scoped pools under real rayon.
 
-use std::iter::{Filter, FlatMap, Map};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
-/// Sequential stand-in for rayon's `ParallelIterator`.
+/// Process-wide thread-count override installed by
+/// [`ThreadPoolBuilder::build_global`]; `0` means "no override".
+static GLOBAL_NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// `RAYON_NUM_THREADS`, read once per process (like real rayon, which sizes
+/// its global pool a single time) so hot paths never touch the process
+/// environment lock.
+static ENV_NUM_THREADS: OnceLock<Option<usize>> = OnceLock::new();
+
+thread_local! {
+    /// `true` while the current thread is a pool worker.  Nested parallel
+    /// operations detect this and run sequentially on the worker, so total
+    /// thread count stays bounded by the configured pool size instead of
+    /// multiplying at every nesting level (real rayon gets the same effect
+    /// by scheduling nested work onto its one fixed pool).
+    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// The number of worker threads parallel iterators will use.
 ///
-/// Wraps a plain [`Iterator`] and exposes rayon-shaped combinators.
-pub struct ParIter<I: Iterator>(I);
+/// Resolution order: the [`ThreadPoolBuilder::build_global`] override, then
+/// the `RAYON_NUM_THREADS` environment variable (a positive integer, read
+/// once per process; `0` or garbage falls through, like real rayon), then
+/// [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    let global = GLOBAL_NUM_THREADS.load(Ordering::Relaxed);
+    if global > 0 {
+        return global;
+    }
+    let env = *ENV_NUM_THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+    });
+    if let Some(n) = env {
+        return n;
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
 
-impl<I: Iterator> ParIter<I> {
+/// Mirror of rayon's global-pool builder.
+///
+/// Only the thread count is configurable.  Unlike real rayon — whose global
+/// pool can be built once — calling [`Self::build_global`] repeatedly
+/// *replaces* the override (and `num_threads(0)` clears it, falling back to
+/// the environment); this divergence is deliberate so tests and benchmarks
+/// can compare thread counts within one process.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the number of worker threads (`0` = derive from the environment).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Install this configuration as the process-wide pool. Never fails in
+    /// the shim; the `Result` matches real rayon's signature.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build_global`] (never produced by the
+/// shim, present for signature compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool could not be configured")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A fused chain of item transforms applied by each worker to its chunk.
+///
+/// `each` feeds the outputs produced by one input item into `sink`, in
+/// order; combinator structs nest the previous chain so the whole pipeline
+/// monomorphizes into one call tree with no intermediate collections.
+pub trait Transform<In>: Sync {
+    /// Output item type of the full chain.
+    type Out;
+    /// Apply the chain to `item`, pushing each output into `sink`.
+    fn each(&self, item: In, sink: &mut impl FnMut(Self::Out));
+}
+
+/// The identity transform at the root of every chain.
+pub struct Ident;
+
+impl<T> Transform<T> for Ident {
+    type Out = T;
+    fn each(&self, item: T, sink: &mut impl FnMut(T)) {
+        sink(item);
+    }
+}
+
+/// The [`ParIter::map`] stage.
+pub struct MapT<P, F> {
+    prev: P,
+    f: F,
+}
+
+impl<In, P, O, F> Transform<In> for MapT<P, F>
+where
+    P: Transform<In>,
+    F: Fn(P::Out) -> O + Sync,
+{
+    type Out = O;
+    fn each(&self, item: In, sink: &mut impl FnMut(O)) {
+        self.prev.each(item, &mut |x| sink((self.f)(x)));
+    }
+}
+
+/// The [`ParIter::filter`] stage.
+pub struct FilterT<P, F> {
+    prev: P,
+    f: F,
+}
+
+impl<In, P, F> Transform<In> for FilterT<P, F>
+where
+    P: Transform<In>,
+    F: Fn(&P::Out) -> bool + Sync,
+{
+    type Out = P::Out;
+    fn each(&self, item: In, sink: &mut impl FnMut(P::Out)) {
+        self.prev.each(item, &mut |x| {
+            if (self.f)(&x) {
+                sink(x);
+            }
+        });
+    }
+}
+
+/// The [`ParIter::flat_map`] stage.
+pub struct FlatMapT<P, F> {
+    prev: P,
+    f: F,
+}
+
+impl<In, P, It, F> Transform<In> for FlatMapT<P, F>
+where
+    P: Transform<In>,
+    It: IntoIterator,
+    F: Fn(P::Out) -> It + Sync,
+{
+    type Out = It::Item;
+    fn each(&self, item: In, sink: &mut impl FnMut(It::Item)) {
+        self.prev.each(item, &mut |x| {
+            for y in (self.f)(x) {
+                sink(y);
+            }
+        });
+    }
+}
+
+/// A parallel iterator: a materialized input plus a fused transform chain.
+///
+/// Construction is cheap and lazy — nothing runs until a terminal operation
+/// (`collect`, `for_each`, `reduce`, `sum`, `count`) drives the chunks
+/// through the pool.
+pub struct ParIter<In, T> {
+    base: Vec<In>,
+    transform: T,
+    min_len: usize,
+}
+
+impl<In, T: Transform<In>> ParIter<In, T> {
     /// Map each item.
-    pub fn map<T, F: FnMut(I::Item) -> T>(self, f: F) -> ParIter<Map<I, F>> {
-        ParIter(self.0.map(f))
+    pub fn map<O, F: Fn(T::Out) -> O + Sync>(self, f: F) -> ParIter<In, MapT<T, F>> {
+        ParIter {
+            base: self.base,
+            transform: MapT {
+                prev: self.transform,
+                f,
+            },
+            min_len: self.min_len,
+        }
     }
 
     /// Keep items matching the predicate.
-    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<Filter<I, F>> {
-        ParIter(self.0.filter(f))
+    pub fn filter<F: Fn(&T::Out) -> bool + Sync>(self, f: F) -> ParIter<In, FilterT<T, F>> {
+        ParIter {
+            base: self.base,
+            transform: FilterT {
+                prev: self.transform,
+                f,
+            },
+            min_len: self.min_len,
+        }
     }
 
     /// Map each item to an iterator and flatten.
-    pub fn flat_map<T: IntoIterator, F: FnMut(I::Item) -> T>(
+    pub fn flat_map<It: IntoIterator, F: Fn(T::Out) -> It + Sync>(
         self,
         f: F,
-    ) -> ParIter<FlatMap<I, T, F>> {
-        ParIter(self.0.flat_map(f))
+    ) -> ParIter<In, FlatMapT<T, F>> {
+        ParIter {
+            base: self.base,
+            transform: FlatMapT {
+                prev: self.transform,
+                f,
+            },
+            min_len: self.min_len,
+        }
     }
 
-    /// Run `f` on every item.
-    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
-        self.0.for_each(f)
-    }
-
-    /// Collect into any `FromIterator` container.
-    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
-        self.0.collect()
-    }
-
-    /// Rayon-style reduce: fold from a fresh identity value.
-    ///
-    /// Note the signature difference from [`Iterator::reduce`] — rayon takes
-    /// an identity *factory* so each worker can start its own accumulator.
-    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> I::Item
-    where
-        Id: Fn() -> I::Item,
-        Op: Fn(I::Item, I::Item) -> I::Item,
-    {
-        self.0.fold(identity(), op)
-    }
-
-    /// Sum the items.
-    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
-        self.0.sum()
-    }
-
-    /// Count the items.
-    pub fn count(self) -> usize {
-        self.0.count()
-    }
-
-    /// Rayon tuning knob; a no-op here.
-    pub fn with_min_len(self, _min: usize) -> Self {
+    /// Set a lower bound on the number of *input* items a worker chunk may
+    /// hold, limiting how finely the input is split.
+    pub fn with_min_len(mut self, min: usize) -> Self {
+        self.min_len = min.max(1);
         self
     }
 }
 
-/// Conversion into a (sequential) "parallel" iterator, mirroring rayon's
+impl<In: Send, T: Transform<In>> ParIter<In, T>
+where
+    T::Out: Send,
+{
+    /// Split the input into order-preserving chunks and run `worker` on each,
+    /// in parallel when more than one chunk results. Returns the per-chunk
+    /// results **in chunk order**.
+    fn drive<R, W>(self, worker: W) -> Vec<R>
+    where
+        R: Send,
+        W: Fn(Vec<In>, &T) -> R + Sync,
+    {
+        let Self {
+            base,
+            transform,
+            min_len,
+        } = self;
+        let n = base.len();
+        let threads = current_num_threads();
+        let chunk_len = n.div_ceil(threads.max(1)).max(min_len).max(1);
+        // A parallel operation issued from inside a pool worker runs
+        // sequentially on that worker: the outermost operation already owns
+        // the full thread budget, and multiplying threads per nesting level
+        // would oversubscribe the machine (and risk spawn failures).
+        let nested = IN_POOL_WORKER.with(Cell::get);
+        if nested || threads <= 1 || chunk_len >= n {
+            if n == 0 {
+                return Vec::new();
+            }
+            return vec![worker(base, &transform)];
+        }
+        let mut chunks: Vec<Vec<In>> = Vec::with_capacity(threads);
+        let mut it = base.into_iter();
+        loop {
+            let chunk: Vec<In> = it.by_ref().take(chunk_len).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            chunks.push(chunk);
+        }
+        let transform = &transform;
+        let worker = &worker;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    s.spawn(move || {
+                        IN_POOL_WORKER.with(|flag| flag.set(true));
+                        worker(chunk, transform)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(r) => r,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        })
+    }
+
+    /// Evaluate the chain over every chunk, returning per-chunk output
+    /// vectors in chunk order.
+    fn run_chunks(self) -> Vec<Vec<T::Out>> {
+        self.drive(|chunk, transform| {
+            let mut out = Vec::with_capacity(chunk.len());
+            for item in chunk {
+                transform.each(item, &mut |x| out.push(x));
+            }
+            out
+        })
+    }
+
+    /// Run `f` on every item.
+    pub fn for_each<F: Fn(T::Out) + Sync>(self, f: F) {
+        let f = &f;
+        self.drive(|chunk, transform| {
+            for item in chunk {
+                transform.each(item, &mut |x| f(x));
+            }
+        });
+    }
+
+    /// Collect into any `FromIterator` container, preserving input order
+    /// regardless of thread count.
+    pub fn collect<C: FromIterator<T::Out>>(self) -> C {
+        self.run_chunks().into_iter().flatten().collect()
+    }
+
+    /// Rayon-style reduce: every worker folds its chunk from a **fresh**
+    /// `identity()` value, and the ordered per-chunk results are folded from
+    /// another `identity()`. Deterministic for associative `op` (the chunk
+    /// boundaries — hence the grouping — depend on the thread count, but
+    /// element order never changes).
+    pub fn reduce<Id, Op>(self, identity: Id, op: Op) -> T::Out
+    where
+        Id: Fn() -> T::Out + Sync,
+        Op: Fn(T::Out, T::Out) -> T::Out + Sync,
+    {
+        let identity = &identity;
+        let op = &op;
+        self.drive(|chunk, transform| {
+            let mut acc = identity();
+            for item in chunk {
+                let mut slot = Some(acc);
+                transform.each(item, &mut |x| {
+                    let prev = slot.take().expect("accumulator present");
+                    slot = Some(op(prev, x));
+                });
+                acc = slot.take().expect("accumulator present");
+            }
+            acc
+        })
+        .into_iter()
+        .fold(identity(), op)
+    }
+
+    /// Sum the items (the transform chain runs in parallel; the final
+    /// summation of the ordered outputs is sequential, keeping `Sum`'s exact
+    /// sequential semantics).
+    pub fn sum<S: std::iter::Sum<T::Out>>(self) -> S {
+        self.run_chunks().into_iter().flatten().sum()
+    }
+
+    /// Count the items.
+    pub fn count(self) -> usize {
+        self.drive(|chunk, transform| {
+            let mut n = 0usize;
+            for item in chunk {
+                transform.each(item, &mut |_| n += 1);
+            }
+            n
+        })
+        .into_iter()
+        .sum()
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring rayon's
 /// `IntoParallelIterator`.
 pub trait IntoParallelIterator {
     /// Item type.
     type Item;
-    /// Underlying sequential iterator type.
-    type Iter: Iterator<Item = Self::Item>;
 
     /// Consume `self` into a [`ParIter`].
-    fn into_par_iter(self) -> ParIter<Self::Iter>;
+    fn into_par_iter(self) -> ParIter<Self::Item, Ident>;
 }
 
 impl<T: IntoIterator> IntoParallelIterator for T {
     type Item = T::Item;
-    type Iter = T::IntoIter;
 
-    fn into_par_iter(self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
+    fn into_par_iter(self) -> ParIter<Self::Item, Ident> {
+        ParIter {
+            base: self.into_iter().collect(),
+            transform: Ident,
+            min_len: 1,
+        }
     }
 }
 
@@ -98,11 +432,9 @@ impl<T: IntoIterator> IntoParallelIterator for T {
 pub trait IntoParallelRefIterator<'data> {
     /// Item type (a reference).
     type Item;
-    /// Underlying sequential iterator type.
-    type Iter: Iterator<Item = Self::Item>;
 
     /// Iterate `&self` as a [`ParIter`].
-    fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    fn par_iter(&'data self) -> ParIter<Self::Item, Ident>;
 }
 
 impl<'data, T: 'data> IntoParallelRefIterator<'data> for T
@@ -110,10 +442,26 @@ where
     &'data T: IntoIterator,
 {
     type Item = <&'data T as IntoIterator>::Item;
-    type Iter = <&'data T as IntoIterator>::IntoIter;
 
-    fn par_iter(&'data self) -> ParIter<Self::Iter> {
-        ParIter(self.into_iter())
+    fn par_iter(&'data self) -> ParIter<Self::Item, Ident> {
+        ParIter {
+            base: self.into_iter().collect(),
+            transform: Ident,
+            min_len: 1,
+        }
+    }
+}
+
+// The blanket impl above only covers `Sized` types; slices get their own.
+impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> ParIter<&'data T, Ident> {
+        ParIter {
+            base: self.iter().collect(),
+            transform: Ident,
+            min_len: 1,
+        }
     }
 }
 
@@ -125,12 +473,64 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, ThreadPoolBuilder};
     use std::collections::HashSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    /// `build_global` mutates process state; tests that rely on a specific
+    /// thread count serialize on this lock and restore the default after.
+    static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+    fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+        let _guard = POOL_LOCK.lock().unwrap();
+        ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .unwrap();
+        let out = f();
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        out
+    }
 
     #[test]
     fn map_collect_matches_sequential() {
         let out: Vec<usize> = (0..10usize).into_par_iter().map(|x| x * 2).collect();
         assert_eq!(out, (0..10).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn collect_preserves_order_across_thread_counts() {
+        let expect: Vec<usize> = (0..1000).map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got: Vec<usize> = with_threads(threads, || {
+                (0..1000usize).into_par_iter().map(|x| x * 3 + 1).collect()
+            });
+            assert_eq!(got, expect, "order broke at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn filter_and_flat_map_compose() {
+        for threads in [1, 4] {
+            let got: Vec<usize> = with_threads(threads, || {
+                (0..100usize)
+                    .into_par_iter()
+                    .filter(|x| x % 10 == 0)
+                    .flat_map(|x| [x, x + 1])
+                    .map(|x| x + 100)
+                    .collect()
+            });
+            let expect: Vec<usize> = (0..100)
+                .filter(|x| x % 10 == 0)
+                .flat_map(|x| [x, x + 1])
+                .map(|x| x + 100)
+                .collect();
+            assert_eq!(got, expect);
+        }
     }
 
     #[test]
@@ -146,9 +546,119 @@ mod tests {
     }
 
     #[test]
+    fn reduce_calls_identity_once_per_chunk() {
+        let calls = AtomicUsize::new(0);
+        let total: usize = with_threads(4, || {
+            (1..=100usize).into_par_iter().reduce(
+                || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    0
+                },
+                |a, b| a + b,
+            )
+        });
+        assert_eq!(total, 5050);
+        // 4 worker chunks each start from their own identity, plus one more
+        // for the final cross-chunk fold.
+        assert_eq!(calls.load(Ordering::SeqCst), 5);
+    }
+
+    #[test]
+    fn reduce_of_empty_input_returns_identity() {
+        let out = Vec::<i32>::new()
+            .into_par_iter()
+            .reduce(|| -7, |a, b| a + b);
+        assert_eq!(out, -7);
+    }
+
+    #[test]
     fn par_iter_borrows() {
         let v = vec![1, 2, 3];
         let sum: i32 = v.par_iter().map(|x| *x).sum();
         assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn count_and_for_each_run_on_all_items() {
+        let n = with_threads(3, || {
+            (0..97usize).into_par_iter().filter(|x| x % 2 == 0).count()
+        });
+        assert_eq!(n, 49);
+        let seen = AtomicUsize::new(0);
+        with_threads(3, || {
+            (0..97usize).into_par_iter().for_each(|_| {
+                seen.fetch_add(1, Ordering::SeqCst);
+            })
+        });
+        assert_eq!(seen.load(Ordering::SeqCst), 97);
+    }
+
+    #[test]
+    fn with_min_len_limits_splitting() {
+        let calls = AtomicUsize::new(0);
+        with_threads(8, || {
+            let _: usize = (1..=10usize).into_par_iter().with_min_len(10).reduce(
+                || {
+                    calls.fetch_add(1, Ordering::SeqCst);
+                    0
+                },
+                |a, b| a + b,
+            );
+        });
+        // A single chunk (min_len covers the whole input) folds sequentially:
+        // one worker identity plus the final cross-chunk fold's identity.
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn build_global_overrides_and_clears() {
+        let _guard = POOL_LOCK.lock().unwrap();
+        ThreadPoolBuilder::new()
+            .num_threads(7)
+            .build_global()
+            .unwrap();
+        assert_eq!(current_num_threads(), 7);
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn nested_parallelism_stays_on_the_worker_thread() {
+        // An inner parallel operation issued from a pool worker must not
+        // spawn further threads: every inner item should be evaluated on the
+        // worker thread that owns the outer chunk.
+        let rows: Vec<Vec<(std::thread::ThreadId, std::thread::ThreadId)>> =
+            with_threads(4, || {
+                (0..8usize)
+                    .into_par_iter()
+                    .map(|_| {
+                        let outer = std::thread::current().id();
+                        (0..16usize)
+                            .into_par_iter()
+                            .map(move |_| (outer, std::thread::current().id()))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect()
+            });
+        for row in &rows {
+            assert_eq!(row.len(), 16);
+            for &(outer, inner) in row {
+                assert_eq!(outer, inner, "nested work escaped its pool worker");
+            }
+        }
+    }
+
+    #[test]
+    fn really_runs_on_multiple_threads() {
+        let ids: HashSet<std::thread::ThreadId> = with_threads(4, || {
+            (0..64usize)
+                .into_par_iter()
+                .map(|_| std::thread::current().id())
+                .collect()
+        });
+        assert!(ids.len() > 1, "expected work on >1 thread, got {ids:?}");
     }
 }

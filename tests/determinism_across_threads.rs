@@ -1,0 +1,81 @@
+//! Cross-thread-count determinism of the end-to-end pipeline.
+//!
+//! The execution engine (`shims/rayon`) distributes work over a configurable
+//! number of threads but must never change *what* is computed: blocking
+//! candidate order, vocabulary ids, greedy tie-breaking and the final
+//! `JoinResult` all have to be byte-identical whether the search runs on 1
+//! or 64 threads.  These tests pin that contract on seeded datagen tasks.
+//!
+//! The shim's `ThreadPoolBuilder::build_global` intentionally allows
+//! re-configuration within one process (a documented divergence from real
+//! rayon), which is what lets one test sweep several thread counts.
+
+use autofj::core::single::join_single_column;
+use autofj::core::AutoFjOptions;
+use autofj::datagen::{benchmark_specs, BenchmarkScale};
+use autofj::text::JoinFunctionSpace;
+use std::sync::Mutex;
+
+/// `build_global` mutates process-wide state and libtest runs the tests of
+/// this binary concurrently; serializing on this lock keeps each test's
+/// configured thread count actually in effect while it measures.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialize the full end-to-end result of a seeded task at a given thread
+/// count.
+fn joined_at(threads: usize, task_idx: usize) -> String {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build_global()
+        .expect("configure shim pool");
+    let task = benchmark_specs(BenchmarkScale::Tiny)[task_idx].generate();
+    let result = join_single_column(
+        &task.left,
+        &task.right,
+        &JoinFunctionSpace::reduced24(),
+        &AutoFjOptions::default(),
+    );
+    serde_json::to_string(&result).expect("JoinResult serializes")
+}
+
+/// Reset the pool override so later tests see the environment default.
+fn reset_pool() {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global()
+        .expect("reset shim pool");
+}
+
+#[test]
+fn join_result_is_byte_identical_across_1_2_and_8_threads() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let baseline = joined_at(1, 36);
+    assert!(
+        baseline.contains("\"pairs\""),
+        "expected a serialized JoinResult, got {baseline:.60}"
+    );
+    for threads in [2usize, 8] {
+        let got = joined_at(threads, 36);
+        assert_eq!(
+            got, baseline,
+            "JoinResult diverged between 1 and {threads} threads"
+        );
+    }
+    reset_pool();
+}
+
+#[test]
+fn adversarial_task_is_deterministic_at_odd_thread_counts() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    // A second, structurally different domain, swept at thread counts that
+    // do not divide the record counts evenly (uneven final chunks).
+    let baseline = joined_at(1, 7);
+    for threads in [3usize, 5, 64] {
+        assert_eq!(
+            joined_at(threads, 7),
+            baseline,
+            "JoinResult diverged at {threads} threads"
+        );
+    }
+    reset_pool();
+}
