@@ -1,29 +1,44 @@
-//! CI bench-smoke: a reduced benchmark that measures the multi-threaded
-//! execution engine and seeds the `BENCH_*.json` perf trajectory.
+//! CI bench-smoke: the multi-task benchmark behind the `BENCH_*.json` perf
+//! trajectory and the quality gate.
 //!
 //! Runs the quickstart/table2 pipeline (blocking → negative rules →
-//! precision pre-compute → greedy union search) on one small datagen task,
-//! once with 1 worker thread and once with `AUTOFJ_BENCH_THREADS` (default
-//! 4), verifies the two runs produce a byte-identical `JoinResult`, and
-//! writes the timings to `target/experiments/BENCH_pr3.json` (plus a copy at
-//! `AUTOFJ_BENCH_OUT` when set), which CI uploads as a workflow artifact.
+//! precision pre-compute → greedy union search) on up to two datagen tasks —
+//! a small one (ShoppingMall at the `small` scale, ~143×80) and a medium one
+//! (`TeamSeasonMedium`, ≥ 10k×10k) — each once with 1 worker thread and once
+//! with `AUTOFJ_BENCH_THREADS` (default 4), verifies that each task's runs
+//! produce a byte-identical `JoinResult`, and writes a multi-task report to
+//! `target/experiments/BENCH_pr5.json` (plus a copy at `AUTOFJ_BENCH_OUT`
+//! when set), which CI uploads as a workflow artifact.
+//!
+//! `AUTOFJ_SCALE` selects the task set: `small` or `medium` run just that
+//! task (the CI matrix runs one leg per scale); anything else — including
+//! unset — runs both, which is how the committed `BENCH_pr5.json` baseline
+//! at the repository root is produced.
+//!
+//! When `AUTOFJ_BENCH_BASELINE` points at a committed report, the run doubles
+//! as the **bench gate**: every freshly measured task is matched against the
+//! baseline by name and its quality fields (`joined`, `estimated_precision`,
+//! `actual_precision`, `actual_recall`, `identical_results`) must be
+//! identical — timings stay informational so wall-clock noise can never fail
+//! CI, but a PR that silently changes *what* the pipeline computes does.
 //!
 //! ```bash
-//! AUTOFJ_SCALE=small cargo run --release -p autofj-bench --bin bench_smoke
+//! AUTOFJ_BENCH_BASELINE=BENCH_pr5.json \
+//!   cargo run --release -p autofj-bench --bin bench_smoke
 //! ```
 //!
-//! Exits non-zero if the single- and multi-thread results differ, so the
-//! smoke job doubles as a cross-thread determinism gate.
+//! Exits non-zero if any task's results differ across thread counts or any
+//! quality field drifts from the baseline.
 
-use autofj_bench::runner::{autofj_options, env_scale, run_autofj};
+use autofj_bench::runner::{autofj_options, run_autofj};
 use autofj_bench::{write_json, Reporter};
 use autofj_core::JoinResult;
-use autofj_datagen::benchmark_specs;
+use autofj_datagen::{benchmark_specs, medium_smoke_spec, BenchmarkScale, SingleColumnTask};
 use autofj_text::JoinFunctionSpace;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// One timed pipeline execution at a fixed thread count.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchRun {
     threads: usize,
     seconds: f64,
@@ -33,41 +48,46 @@ struct BenchRun {
     actual_recall: f64,
 }
 
-/// The persisted smoke report — one entry of the benchmark trajectory.
-#[derive(Debug, Clone, Serialize)]
-struct BenchSmokeReport {
+/// Measurements of one task across thread counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TaskBench {
     task: String,
+    scale: String,
     size: (usize, usize),
     space: String,
-    host_parallelism: usize,
     runs: Vec<BenchRun>,
     /// Wall-clock ratio of the 1-thread run over the multi-thread run.
     speedup: f64,
-    /// Whether every run produced a byte-identical serialized `JoinResult`.
+    /// `true` when the multi-thread run was strictly faster (`speedup > 1`).
+    /// A sub-1× result on a tiny task is expected (thread-pool overhead
+    /// dominates 40 ms of work) and is labeled here rather than silently
+    /// recorded as a regression.
+    parallel_effective: bool,
+    /// Whether every run of this task produced a byte-identical serialized
+    /// `JoinResult`.
     identical_results: bool,
 }
 
-fn main() {
-    let scale = env_scale();
-    // A mid-sized, structurally interesting domain; index 36 is the same
-    // task the runner's own tests exercise.
-    let task = benchmark_specs(scale)[36].generate();
-    // Default to the reduced 24-function space so the smoke run stays fast;
-    // AUTOFJ_SPACE selects a bigger space for deeper benchmarking sessions.
-    let space = match std::env::var("AUTOFJ_SPACE") {
-        Ok(_) => autofj_bench::runner::env_space(),
-        Err(_) => JoinFunctionSpace::reduced24(),
-    };
-    let options = autofj_options();
-    let multi_threads: usize = std::env::var("AUTOFJ_BENCH_THREADS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .filter(|&n| n > 1)
-        .unwrap_or(4);
+/// The persisted smoke report — one entry of the benchmark trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct BenchSmokeReport {
+    host_parallelism: usize,
+    tasks: Vec<TaskBench>,
+    /// Conjunction of the per-task determinism checks.
+    identical_results: bool,
+}
 
+/// Measure one task at 1 and `multi_threads` workers.
+fn bench_task(
+    task: &SingleColumnTask,
+    scale: &str,
+    space: &JoinFunctionSpace,
+    multi_threads: usize,
+) -> TaskBench {
+    let options = autofj_options();
     // Untimed warm-up so one-time costs (allocator growth, lazy tables,
     // page faults) are not attributed to whichever leg happens to run first.
-    let _ = run_autofj(&task, &space, &options);
+    let _ = run_autofj(task, space, &options);
 
     let mut runs = Vec::new();
     let mut serialized: Vec<String> = Vec::new();
@@ -77,7 +97,7 @@ fn main() {
             .build_global()
             .expect("configure shim pool");
         let (result, quality, _pepcc, seconds): (JoinResult, _, _, _) =
-            run_autofj(&task, &space, &options);
+            run_autofj(task, space, &options);
         serialized.push(serde_json::to_string(&result).expect("JoinResult serializes"));
         runs.push(BenchRun {
             threads,
@@ -94,39 +114,153 @@ fn main() {
         .build_global()
         .expect("reset shim pool");
 
-    let identical = serialized.windows(2).all(|w| w[0] == w[1]);
     let speedup = runs[0].seconds / runs[1].seconds.max(1e-9);
-    let report = BenchSmokeReport {
+    TaskBench {
         task: task.name.clone(),
+        scale: scale.to_string(),
         size: (task.left.len(), task.right.len()),
         space: space.label().to_string(),
-        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
         runs,
         speedup,
-        identical_results: identical,
+        parallel_effective: speedup > 1.0,
+        identical_results: serialized.windows(2).all(|w| w[0] == w[1]),
+    }
+}
+
+/// Relative tolerance for the floating-point quality fields of the gate.
+///
+/// Results are bit-deterministic *within* one host, but the committed
+/// baseline may have been produced under a different libm whose `ln`/`sqrt`
+/// differ by an ulp; real quality drift moves these fields by ≥ 1e-3, so a
+/// tight relative band keeps the gate immune to last-bit noise without
+/// letting any genuine change through.  Integer fields stay exact.
+const GATE_REL_EPS: f64 = 1e-9;
+
+fn float_quality_matches(got: f64, want: f64) -> bool {
+    (got - want).abs() <= GATE_REL_EPS * got.abs().max(want.abs()).max(1.0)
+}
+
+/// Compare the quality fields of a fresh task measurement against the
+/// committed baseline entry, collecting human-readable mismatch lines.
+fn diff_against_baseline(fresh: &TaskBench, baseline: &TaskBench, errors: &mut Vec<String>) {
+    let t = &fresh.task;
+    if fresh.identical_results != baseline.identical_results {
+        errors.push(format!(
+            "{t}: identical_results {} != baseline {}",
+            fresh.identical_results, baseline.identical_results
+        ));
+    }
+    for run in &fresh.runs {
+        let Some(base) = baseline.runs.iter().find(|b| b.threads == run.threads) else {
+            errors.push(format!("{t}: baseline has no {}-thread run", run.threads));
+            continue;
+        };
+        if run.joined != base.joined {
+            errors.push(format!(
+                "{t} ({} threads): joined {} != baseline {}",
+                run.threads, run.joined, base.joined
+            ));
+        }
+        let fields = [
+            (
+                "estimated_precision",
+                run.estimated_precision,
+                base.estimated_precision,
+            ),
+            (
+                "actual_precision",
+                run.actual_precision,
+                base.actual_precision,
+            ),
+            ("actual_recall", run.actual_recall, base.actual_recall),
+        ];
+        for (name, got, want) in fields {
+            if !float_quality_matches(got, want) {
+                errors.push(format!(
+                    "{t} ({} threads): {name} {got} != baseline {want}",
+                    run.threads
+                ));
+            }
+        }
+    }
+}
+
+fn main() {
+    // Which smoke tasks to run: the CI matrix passes `small` / `medium` to
+    // run a single leg; the default (committed-baseline) invocation runs
+    // both.
+    let scale_env = std::env::var("AUTOFJ_SCALE")
+        .unwrap_or_default()
+        .to_lowercase();
+    let scales: &[&str] = match scale_env.as_str() {
+        "small" => &["small"],
+        "medium" => &["medium"],
+        _ => &["small", "medium"],
+    };
+    // Default to the reduced 24-function space so the smoke run stays fast;
+    // AUTOFJ_SPACE selects a bigger space for deeper benchmarking sessions.
+    let space = match std::env::var("AUTOFJ_SPACE") {
+        Ok(_) => autofj_bench::runner::env_space(),
+        Err(_) => JoinFunctionSpace::reduced24(),
+    };
+    let multi_threads: usize = std::env::var("AUTOFJ_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 1)
+        .unwrap_or(4);
+
+    let mut tasks = Vec::new();
+    for &scale in scales {
+        let task = match scale {
+            // Index 36 is ShoppingMall, the same task the runner's own tests
+            // exercise and the one PR 3's trajectory entry recorded.
+            "small" => benchmark_specs(BenchmarkScale::Small)[36].generate(),
+            _ => medium_smoke_spec().generate(),
+        };
+        eprintln!(
+            "bench-smoke: running {} ({}x{}) at 1 and {multi_threads} threads...",
+            task.name,
+            task.left.len(),
+            task.right.len()
+        );
+        tasks.push(bench_task(&task, scale, &space, multi_threads));
+    }
+
+    let report = BenchSmokeReport {
+        host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        identical_results: tasks.iter().all(|t| t.identical_results),
+        tasks,
     };
 
     let mut table = Reporter::new(
         "bench-smoke: single vs multi thread",
-        &["Threads", "Seconds", "Joined", "EstP", "P", "R"],
+        &[
+            "Task", "Size", "Threads", "Seconds", "Joined", "EstP", "P", "R",
+        ],
     );
-    for r in &report.runs {
-        table.add_row(vec![
-            r.threads.to_string(),
-            format!("{:.3}", r.seconds),
-            r.joined.to_string(),
-            format!("{:.3}", r.estimated_precision),
-            format!("{:.3}", r.actual_precision),
-            format!("{:.3}", r.actual_recall),
-        ]);
+    for t in &report.tasks {
+        for r in &t.runs {
+            table.add_row(vec![
+                t.task.clone(),
+                format!("{}x{}", t.size.0, t.size.1),
+                r.threads.to_string(),
+                format!("{:.3}", r.seconds),
+                r.joined.to_string(),
+                format!("{:.3}", r.estimated_precision),
+                format!("{:.3}", r.actual_precision),
+                format!("{:.3}", r.actual_recall),
+            ]);
+        }
     }
     table.print();
-    println!(
-        "speedup (1 -> {multi_threads} threads): {:.2}x, identical results: {}",
-        report.speedup, report.identical_results
-    );
+    for t in &report.tasks {
+        println!(
+            "{}: speedup (1 -> {multi_threads} threads) {:.2}x, parallel_effective: {}, identical results: {}",
+            t.task, t.speedup, t.parallel_effective, t.identical_results
+        );
+    }
 
-    let path = write_json("BENCH_pr3", &report);
+    let path = write_json("BENCH_pr5", &report);
     println!("wrote {}", path.display());
     if let Ok(extra) = std::env::var("AUTOFJ_BENCH_OUT") {
         if let Err(e) = std::fs::copy(&path, &extra) {
@@ -136,8 +270,57 @@ fn main() {
         }
     }
 
+    let mut failed = false;
     if !report.identical_results {
         eprintln!("ERROR: results differ across thread counts");
+        failed = true;
+    }
+
+    // Bench gate: quality fields must match the committed baseline exactly.
+    if let Ok(baseline_path) = std::env::var("AUTOFJ_BENCH_BASELINE") {
+        let baseline: BenchSmokeReport = match std::fs::read_to_string(&baseline_path) {
+            Ok(text) => match serde_json::from_str(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("ERROR: could not parse baseline {baseline_path}: {e}");
+                    std::process::exit(1);
+                }
+            },
+            Err(e) => {
+                eprintln!("ERROR: could not read baseline {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let mut errors = Vec::new();
+        for fresh in &report.tasks {
+            match baseline.tasks.iter().find(|b| b.task == fresh.task) {
+                Some(base) => diff_against_baseline(fresh, base, &mut errors),
+                None => errors.push(format!(
+                    "{}: not present in baseline {baseline_path}",
+                    fresh.task
+                )),
+            }
+        }
+        if errors.is_empty() {
+            println!(
+                "bench-gate: quality fields match {baseline_path} for {} task(s)",
+                report.tasks.len()
+            );
+        } else {
+            eprintln!("ERROR: bench-gate found quality drift vs {baseline_path}:");
+            for e in &errors {
+                eprintln!("  - {e}");
+            }
+            eprintln!(
+                "If the change is intentional, regenerate the baseline with \
+                 `AUTOFJ_BENCH_OUT={baseline_path} cargo run --release -p autofj-bench \
+                 --bin bench_smoke` and commit it."
+            );
+            failed = true;
+        }
+    }
+
+    if failed {
         std::process::exit(1);
     }
 }

@@ -13,7 +13,8 @@
 //! Environment knobs shared by all binaries:
 //!
 //! * `AUTOFJ_SCALE` — `tiny` | `small` (default) | `full`: row counts of the
-//!   generated benchmark.
+//!   generated benchmark (for `bench_smoke` it instead selects the smoke
+//!   task set: `small`, `medium`, or both when unset).
 //! * `AUTOFJ_TASKS` — limit on the number of single-column tasks (default:
 //!   all 50).
 //! * `AUTOFJ_SPACE` — `24` | `38` | `70` | `140` (default 140): configuration
@@ -21,9 +22,13 @@
 //! * `RAYON_NUM_THREADS` — worker threads of the execution engine; every
 //!   score row records the count it was measured with (`threads` field).
 //!
-//! The `bench_smoke` binary is the CI perf gate: it times the pipeline at 1
-//! and `AUTOFJ_BENCH_THREADS` (default 4) threads, checks the results are
-//! byte-identical, and writes the `BENCH_pr3.json` trajectory report.
+//! The `bench_smoke` binary is the CI perf + quality gate: it times the
+//! pipeline on a small (~143×80) and a medium (≥ 10k×10k) datagen task at 1
+//! and `AUTOFJ_BENCH_THREADS` (default 4) threads, checks per task that the
+//! results are byte-identical, writes the multi-task `BENCH_pr5.json`
+//! trajectory report (per-task `speedup` + `parallel_effective` flags), and
+//! — when `AUTOFJ_BENCH_BASELINE` is set — fails on any quality-field drift
+//! against the committed baseline (timings stay informational).
 
 pub mod report;
 pub mod runner;

@@ -1,10 +1,26 @@
 //! TF-IDF 3-gram inverted index and the top-k candidate selection.
+//!
+//! The index is fully *interned*: grams are `u32` ids over a shared
+//! vocabulary, postings live in one contiguous CSR arena, and every probe is
+//! scored through a dense accumulator that is reset via a touched-list (an
+//! epoch counter, so not even the reset walks the full table).  Top-k
+//! selection uses a bounded min-heap of size `k` instead of sorting the whole
+//! scored set.  Parallel probes process contiguous chunks with one scratch
+//! buffer per worker, so the steady-state hot path allocates nothing beyond
+//! the candidate lists it returns.
+//!
+//! A deliberately simple string-path implementation is retained in
+//! [`crate::reference`]; a property test pins that both paths produce
+//! identical candidate lists on random tables at every thread count.
 
+use autofj_text::prepared::scheme_index;
 use autofj_text::preprocess::Preprocessing;
-use autofj_text::tokenize::qgram_tokenize;
+use autofj_text::tokenize::{qgram_intern_into, qgram_lookup_into, GramScratch, Tokenization};
+use autofj_text::vocab::Vocab;
+use autofj_text::PreparedColumn;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BinaryHeap;
 
 /// The candidate sets produced by blocking.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -43,83 +59,232 @@ impl Default for Blocker {
     }
 }
 
-/// Internal inverted index over the reference table.
+/// Inverted index over the reference table, on interned gram ids.
+///
+/// Postings are stored CSR-style: `postings[offsets[g]..offsets[g + 1]]`
+/// holds the left-record indices containing gram `g`, in ascending order
+/// (records are scanned in order at build time).
 struct GramIndex {
-    /// gram id -> postings (left record indices, deduplicated).
-    postings: Vec<Vec<u32>>,
-    /// gram string -> gram id.
-    ids: HashMap<String, u32>,
-    /// idf weight per gram id.
+    offsets: Vec<u32>,
+    postings: Vec<u32>,
+    /// idf weight per gram id, derived from the *reference-side* document
+    /// frequency (`ln(1 + |L| / (1 + df))`), like the paper's TF-IDF blocker.
     idf: Vec<f64>,
     num_left: usize,
 }
 
-impl GramIndex {
-    fn build(left_grams: &[Vec<String>]) -> Self {
-        let mut ids: HashMap<String, u32> = HashMap::new();
-        let mut postings: Vec<Vec<u32>> = Vec::new();
-        for (li, grams) in left_grams.iter().enumerate() {
-            let mut seen: Vec<u32> = Vec::with_capacity(grams.len());
-            for g in grams {
-                let id = match ids.get(g) {
-                    Some(&id) => id,
-                    None => {
-                        let id = postings.len() as u32;
-                        ids.insert(g.clone(), id);
-                        postings.push(Vec::new());
-                        id
-                    }
-                };
-                seen.push(id);
-            }
-            seen.sort_unstable();
-            seen.dedup();
-            for id in seen {
-                postings[id as usize].push(li as u32);
-            }
-        }
-        let n = left_grams.len().max(1) as f64;
-        let idf = postings
-            .iter()
-            .map(|p| (1.0 + n / (1.0 + p.len() as f64)).ln())
-            .collect();
+/// A scored candidate in the bounded top-k heap.
+///
+/// The `Ord` is inverted so that `BinaryHeap` (a max-heap) keeps the *worst*
+/// kept candidate at the root: "greater" means lower score, ties broken
+/// toward the higher left index.  Sorting a drained heap ascending therefore
+/// yields candidates best-first with the deterministic `(score desc, index
+/// asc)` order of a full sort.
+#[derive(Debug, Clone, Copy)]
+struct HeapEntry {
+    score: f64,
+    left: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.score == other.score && self.left == other.left
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Scores are finite sums of finite idf weights, so partial_cmp never
+        // fails in practice; Equal is a safe fallback that defers to the
+        // index tie-break.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(self.left.cmp(&other.left))
+    }
+}
+
+/// Per-worker probe scratch: dense score accumulator, epoch-stamped touched
+/// tracking, the bounded top-k heap and its drain buffer.  One instance
+/// serves every probe a worker processes; nothing inside is reallocated
+/// between probes once warmed up.
+struct ProbeScratch {
+    scores: Vec<f64>,
+    /// `epoch[l] == cur` marks `scores[l]` as live for the current probe;
+    /// resetting is a single counter bump instead of a table walk.
+    epoch: Vec<u32>,
+    cur: u32,
+    touched: Vec<u32>,
+    heap: BinaryHeap<HeapEntry>,
+    drain: Vec<HeapEntry>,
+}
+
+impl ProbeScratch {
+    fn new(num_left: usize) -> Self {
         Self {
-            postings,
-            ids,
-            idf,
-            num_left: left_grams.len(),
+            scores: vec![0.0; num_left],
+            epoch: vec![0; num_left],
+            cur: 0,
+            touched: Vec::new(),
+            heap: BinaryHeap::new(),
+            drain: Vec::new(),
         }
     }
 
-    /// Score every left record against a probe gram multiset and return the
-    /// top-k indices (optionally excluding one index, used for L–L probes).
-    fn top_k(&self, probe_grams: &[String], k: usize, exclude: Option<usize>) -> Vec<usize> {
-        let mut scores: HashMap<u32, f64> = HashMap::new();
-        // Deduplicate probe grams: blocking similarity is over gram *sets*.
-        let mut uniq: Vec<&String> = probe_grams.iter().collect();
-        uniq.sort_unstable();
-        uniq.dedup();
-        for g in uniq {
-            if let Some(&id) = self.ids.get(g.as_str()) {
-                let w = self.idf[id as usize];
-                for &li in &self.postings[id as usize] {
-                    *scores.entry(li).or_insert(0.0) += w;
+    /// Start a new probe: clear the touched list and advance the epoch
+    /// (re-zeroing the stamp array on the — practically unreachable —
+    /// wrap-around).
+    fn begin(&mut self) {
+        self.touched.clear();
+        if self.cur == u32::MAX {
+            self.epoch.fill(0);
+            self.cur = 0;
+        }
+        self.cur += 1;
+    }
+}
+
+impl GramIndex {
+    /// Build the index from the sorted, deduplicated gram-id sets of the
+    /// reference records.  `num_grams` is the size of the shared vocabulary;
+    /// grams that never occur in a reference record get an empty postings
+    /// range (probe grams hitting them contribute nothing).
+    fn from_id_sets<S: AsRef<[u32]>>(left_sets: &[S], num_grams: usize) -> Self {
+        let mut counts = vec![0u32; num_grams];
+        for set in left_sets {
+            for &g in set.as_ref() {
+                counts[g as usize] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(num_grams + 1);
+        let mut acc = 0u32;
+        offsets.push(0);
+        for &c in &counts {
+            acc += c;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u32> = offsets[..num_grams].to_vec();
+        let mut postings = vec![0u32; acc as usize];
+        for (li, set) in left_sets.iter().enumerate() {
+            for &g in set.as_ref() {
+                let slot = &mut cursor[g as usize];
+                postings[*slot as usize] = li as u32;
+                *slot += 1;
+            }
+        }
+        let n = left_sets.len().max(1) as f64;
+        let idf = counts
+            .iter()
+            .map(|&df| (1.0 + n / (1.0 + df as f64)).ln())
+            .collect();
+        Self {
+            offsets,
+            postings,
+            idf,
+            num_left: left_sets.len(),
+        }
+    }
+
+    #[inline]
+    fn postings_of(&self, gram: u32) -> &[u32] {
+        let g = gram as usize;
+        &self.postings[self.offsets[g] as usize..self.offsets[g + 1] as usize]
+    }
+
+    /// Score every reference record sharing a gram with the probe and return
+    /// the top-k indices (optionally excluding one index, used for L–L
+    /// probes).  `probe` must be sorted and deduplicated — blocking
+    /// similarity is over gram *sets*, and the ascending-id iteration fixes
+    /// the floating-point summation order independent of thread count.
+    fn top_k(
+        &self,
+        probe: &[u32],
+        k: usize,
+        exclude: Option<u32>,
+        scratch: &mut ProbeScratch,
+    ) -> Vec<usize> {
+        let k = k.min(self.num_left);
+        if k == 0 {
+            return Vec::new();
+        }
+        scratch.begin();
+        let cur = scratch.cur;
+        for &g in probe {
+            let w = self.idf[g as usize];
+            for &li in self.postings_of(g) {
+                let l = li as usize;
+                if scratch.epoch[l] == cur {
+                    scratch.scores[l] += w;
+                } else {
+                    scratch.epoch[l] = cur;
+                    scratch.scores[l] = w;
+                    scratch.touched.push(li);
                 }
             }
         }
-        if let Some(ex) = exclude {
-            scores.remove(&(ex as u32));
+        scratch.heap.clear();
+        for &li in &scratch.touched {
+            if exclude == Some(li) {
+                continue;
+            }
+            let entry = HeapEntry {
+                score: scratch.scores[li as usize],
+                left: li,
+            };
+            if scratch.heap.len() < k {
+                scratch.heap.push(entry);
+            } else if let Some(mut worst) = scratch.heap.peek_mut() {
+                // `entry < worst` under the inverted Ord means "better than
+                // the worst kept candidate".
+                if entry < *worst {
+                    *worst = entry;
+                }
+            }
         }
-        let mut scored: Vec<(u32, f64)> = scores.into_iter().collect();
-        // Sort by score descending, tie-break by index for determinism.
-        scored.sort_unstable_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
-        scored.truncate(k.min(self.num_left));
-        scored.into_iter().map(|(i, _)| i as usize).collect()
+        scratch.drain.clear();
+        scratch.drain.extend(scratch.heap.drain());
+        // Ascending under the inverted Ord == best-first.
+        scratch.drain.sort_unstable();
+        scratch.drain.iter().map(|e| e.left as usize).collect()
     }
+}
+
+/// Run `probes` through the index in contiguous chunks — one chunk per
+/// worker, one [`ProbeScratch`] per chunk — and concatenate the per-chunk
+/// candidate lists in probe order.  `exclude` maps a probe position to a left
+/// index that must not appear in its candidates (self-exclusion for L–L).
+fn probe_chunks<S: AsRef<[u32]> + Sync>(
+    index: &GramIndex,
+    probes: &[S],
+    k: usize,
+    exclude: impl Fn(usize) -> Option<u32> + Sync,
+) -> Vec<Vec<usize>> {
+    let n = probes.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let chunk = n.div_ceil(rayon::current_num_threads().max(1)).max(1);
+    let starts: Vec<usize> = (0..n).step_by(chunk).collect();
+    let per_chunk: Vec<Vec<Vec<usize>>> = starts
+        .into_par_iter()
+        .map(|start| {
+            let end = (start + chunk).min(n);
+            let mut scratch = ProbeScratch::new(index.num_left);
+            (start..end)
+                .map(|i| index.top_k(probes[i].as_ref(), k, exclude(i), &mut scratch))
+                .collect()
+        })
+        .collect();
+    per_chunk.into_iter().flatten().collect()
 }
 
 impl Blocker {
@@ -153,34 +318,108 @@ impl Blocker {
 
     /// Run blocking over raw strings, producing L–R and L–L candidate sets.
     ///
-    /// Gram extraction and the top-k probes are evaluated in parallel over
-    /// records (the inverted index is built once, then shared read-only by
-    /// all probe workers); candidate lists keep the same deterministic
-    /// order regardless of thread count.
+    /// Reference records are tokenized into interned gram ids sequentially
+    /// (so id assignment is deterministic at every thread count); probe
+    /// records only *look up* gram ids, which is read-only and runs in
+    /// parallel chunks with per-worker scratch.  Candidate lists keep the
+    /// same deterministic order regardless of thread count.
     pub fn block<S1: AsRef<str> + Sync, S2: AsRef<str> + Sync>(
         &self,
         left: &[S1],
         right: &[S2],
     ) -> BlockingOutput {
         let prep = Preprocessing::Lower;
-        let left_grams: Vec<Vec<String>> = left
-            .par_iter()
-            .map(|s| qgram_tokenize(&prep.apply(s.as_ref()), 3))
+        let mut vocab = Vocab::new();
+        let mut scratch = GramScratch::default();
+        let mut buf: Vec<u32> = Vec::new();
+        let left_sets: Vec<Vec<u32>> = left
+            .iter()
+            .map(|s| {
+                buf.clear();
+                qgram_intern_into(
+                    &prep.apply(s.as_ref()),
+                    3,
+                    &mut vocab,
+                    &mut buf,
+                    &mut scratch,
+                );
+                buf.sort_unstable();
+                buf.dedup();
+                buf.clone()
+            })
             .collect();
-        let right_grams: Vec<Vec<String>> = right
-            .par_iter()
-            .map(|s| qgram_tokenize(&prep.apply(s.as_ref()), 3))
-            .collect();
-        let index = GramIndex::build(&left_grams);
-        let k = self.candidates_per_record(left.len());
-        let left_candidates_of_right = right_grams
-            .par_iter()
-            .map(|g| index.top_k(g, k, None))
-            .collect();
-        let left_candidates_of_left = (0..left_grams.len())
+        let vocab = &vocab;
+        let chunk = right
+            .len()
+            .div_ceil(rayon::current_num_threads().max(1))
+            .max(1);
+        let right_sets: Vec<Vec<u32>> = right
+            .chunks(chunk)
+            .collect::<Vec<_>>()
             .into_par_iter()
-            .map(|li| index.top_k(&left_grams[li], k, Some(li)))
+            .map(|records| {
+                let mut scratch = GramScratch::default();
+                records
+                    .iter()
+                    .map(|s| {
+                        let mut ids = Vec::new();
+                        qgram_lookup_into(
+                            &prep.apply(s.as_ref()),
+                            3,
+                            vocab,
+                            &mut ids,
+                            &mut scratch,
+                        );
+                        ids.sort_unstable();
+                        ids.dedup();
+                        ids
+                    })
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
             .collect();
+        self.block_id_sets(&left_sets, &right_sets, vocab.len())
+    }
+
+    /// Run blocking over a [`PreparedColumn`] holding the `num_left`
+    /// reference records followed by the query records — the zero-tokenization
+    /// path used by the single-column pipeline, which prepares each record
+    /// exactly once and shares the interned gram sets across blocking,
+    /// negative rules and distance evaluation.
+    ///
+    /// Uses the `(lower-case, 3-gram)` scheme of the column.  Equivalent to
+    /// [`Self::block`] on the raw strings: the shared vocabulary assigns
+    /// reference-side grams the same relative ids (reference records are
+    /// interned first), and query-only grams have empty postings.
+    pub fn block_prepared(&self, col: &PreparedColumn, num_left: usize) -> BlockingOutput {
+        assert!(
+            num_left <= col.len(),
+            "num_left ({num_left}) exceeds column length ({})",
+            col.len()
+        );
+        let si = scheme_index(Preprocessing::Lower, Tokenization::Gram3);
+        let sets: Vec<&[u32]> = (0..col.len())
+            .map(|i| col.record(i).token_sets[si].as_slice())
+            .collect();
+        let num_grams = col.vocab(Preprocessing::Lower, Tokenization::Gram3).len();
+        self.block_id_sets(&sets[..num_left], &sets[num_left..], num_grams)
+    }
+
+    /// Run blocking directly over interned gram-id sets (each sorted and
+    /// deduplicated, ids `< num_grams`).  This is the layer both string entry
+    /// points converge on, and the one the property tests exercise.
+    pub fn block_id_sets<S1: AsRef<[u32]> + Sync, S2: AsRef<[u32]> + Sync>(
+        &self,
+        left_sets: &[S1],
+        right_sets: &[S2],
+        num_grams: usize,
+    ) -> BlockingOutput {
+        let index = GramIndex::from_id_sets(left_sets, num_grams);
+        let k = self.candidates_per_record(left_sets.len());
+        let left_candidates_of_right = probe_chunks(&index, right_sets, k, |_| None);
+        let left_candidates_of_left = probe_chunks(&index, left_sets, k, |i| Some(i as u32));
         BlockingOutput {
             left_candidates_of_right,
             left_candidates_of_left,
@@ -284,5 +523,69 @@ mod tests {
     #[should_panic(expected = "blocking factor")]
     fn zero_factor_panics() {
         let _ = Blocker::with_factor(0.0);
+    }
+
+    #[test]
+    fn prepared_path_matches_raw_string_path() {
+        let left = teams();
+        let right = vec![
+            "2003 LSU Tigres footbal".to_string(),
+            "2015 Wisconsin Badgers football team".to_string(),
+            "unrelated probe".to_string(),
+        ];
+        let raw = Blocker::new().block(&left, &right);
+        let all: Vec<&str> = left
+            .iter()
+            .map(String::as_str)
+            .chain(right.iter().map(String::as_str))
+            .collect();
+        let col = PreparedColumn::build(&all);
+        let prepared = Blocker::new().block_prepared(&col, left.len());
+        assert_eq!(
+            raw.left_candidates_of_right,
+            prepared.left_candidates_of_right
+        );
+        assert_eq!(
+            raw.left_candidates_of_left,
+            prepared.left_candidates_of_left
+        );
+        assert_eq!(raw.candidates_per_record, prepared.candidates_per_record);
+    }
+
+    #[test]
+    fn top_k_ties_break_toward_lower_index() {
+        // Four identical reference records: every probe scores them equally,
+        // so the kept candidates must be the lowest indices, ascending.
+        let left = vec!["aaa bbb"; 4];
+        let b = Blocker::with_factor(0.5); // k = 1
+        let out = b.block(&left, &["aaa bbb"]);
+        assert_eq!(out.left_candidates_of_right[0], vec![0]);
+        let b = Blocker::with_factor(1.0); // k = 2
+        let out = b.block(&left, &["aaa bbb"]);
+        assert_eq!(out.left_candidates_of_right[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn scratch_reuse_across_probes_is_clean() {
+        // Many probes through one worker (1 thread) must not leak scores
+        // between probes: a probe sharing nothing with the reference table
+        // still gets no candidates even after high-scoring probes.
+        let left = teams();
+        let right: Vec<String> = (0..10)
+            .flat_map(|_| {
+                [
+                    left[3].clone(),
+                    "零件 øøøø ØØØ".to_string(), // no shared grams
+                ]
+            })
+            .collect();
+        let out = Blocker::new().block(&left, &right);
+        for (i, cands) in out.left_candidates_of_right.iter().enumerate() {
+            if i % 2 == 1 {
+                assert!(cands.is_empty(), "probe {i} leaked candidates");
+            } else {
+                assert!(cands.contains(&3));
+            }
+        }
     }
 }

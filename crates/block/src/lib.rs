@@ -13,9 +13,16 @@
 //! considers) and the `L–L` candidate pairs (what the precision estimation
 //! and negative-rule learning consider).
 
+//! The hot path ([`index`]) runs on interned `u32` gram ids with dense,
+//! scratch-reusing probe scoring and bounded-heap top-k; [`mod@reference`]
+//! keeps the simple string-path implementation as an executable
+//! specification that property tests compare against.
+
 pub mod index;
+pub mod reference;
 
 pub use index::{Blocker, BlockingOutput};
+pub use reference::block_reference;
 
 #[cfg(test)]
 mod tests {

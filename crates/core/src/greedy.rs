@@ -195,29 +195,38 @@ pub fn run_greedy(pre: &Precompute, options: &AutoFjOptions) -> GreedyOutcome {
         }
         // Line 7-10: find the candidate with maximal profit(U ∪ {C}).  Every
         // candidate's delta against the frozen assignment is independent, so
-        // the evaluation fans out over the pool; the argmax scan below stays
-        // sequential in candidate order, which preserves the exact
-        // first-wins tie-breaking of the sequential algorithm at any thread
-        // count.
-        let deltas: Vec<Delta> = candidates
-            .par_iter()
+        // evaluation and argmax fuse into one parallel map-reduce with no
+        // per-iteration buffer.  The reduce keeps the *earlier* candidate on
+        // equal profit (chunks are folded in input order), which preserves
+        // the exact first-wins tie-breaking of the sequential algorithm at
+        // any thread count.
+        let candidates_ref = &candidates;
+        let assignment_ref = &assignment;
+        let best: Option<(usize, Delta, f64)> = (0..candidates.len())
+            .into_par_iter()
             .with_min_len(16)
-            .map(|&cand| evaluate_candidate(pre, &assignment, cand, ball))
-            .collect();
-        let mut best: Option<(usize, Delta, f64)> = None;
-        for (ci, delta) in deltas.into_iter().enumerate() {
-            if delta.tp <= 0.0 {
-                continue;
-            }
-            let profit = (tp + delta.tp) / (fp + delta.fp).max(1e-9);
-            let better = match &best {
-                None => true,
-                Some((_, _, bp)) => profit > *bp,
-            };
-            if better {
-                best = Some((ci, delta, profit));
-            }
-        }
+            .map(|ci| {
+                let delta = evaluate_candidate(pre, assignment_ref, candidates_ref[ci], ball);
+                if delta.tp <= 0.0 {
+                    return None;
+                }
+                let profit = (tp + delta.tp) / (fp + delta.fp).max(1e-9);
+                Some((ci, delta, profit))
+            })
+            .reduce(
+                || None,
+                |a, b| match (a, b) {
+                    (None, b) => b,
+                    (a, None) => a,
+                    (Some(x), Some(y)) => {
+                        if y.2 > x.2 {
+                            Some(y)
+                        } else {
+                            Some(x)
+                        }
+                    }
+                },
+            );
         let Some((best_idx, delta, _)) = best else {
             // No candidate adds any new expected true positive.
             break;
@@ -258,29 +267,37 @@ fn run_single_best(pre: &Precompute, options: &AutoFjOptions) -> GreedyOutcome {
     let tau = options.precision_target;
     let ball = options.ball_mode;
     let empty: Vec<Option<Assigned>> = vec![None; pre.num_right()];
-    let mut best: Option<(CandidateConfig, Delta)> = None;
     let candidates = candidate_configs(pre);
-    let deltas: Vec<Delta> = candidates
+    let empty_ref = &empty;
+    // Fused evaluate + argmax, first-wins on equal recall (see `run_greedy`).
+    let best: Option<(CandidateConfig, Delta)> = candidates
         .par_iter()
         .with_min_len(16)
-        .map(|&cand| evaluate_candidate(pre, &empty, cand, ball))
-        .collect();
-    for (cand, delta) in candidates.into_iter().zip(deltas) {
-        if delta.tp <= 0.0 {
-            continue;
-        }
-        let precision = delta.tp / (delta.tp + delta.fp).max(1e-12);
-        if precision <= tau {
-            continue;
-        }
-        let better = match &best {
-            None => true,
-            Some((_, b)) => delta.tp > b.tp,
-        };
-        if better {
-            best = Some((cand, delta));
-        }
-    }
+        .map(|&cand| {
+            let delta = evaluate_candidate(pre, empty_ref, cand, ball);
+            if delta.tp <= 0.0 {
+                return None;
+            }
+            let precision = delta.tp / (delta.tp + delta.fp).max(1e-12);
+            if precision <= tau {
+                return None;
+            }
+            Some((cand, delta))
+        })
+        .reduce(
+            || None,
+            |a, b| match (a, b) {
+                (None, b) => b,
+                (a, None) => a,
+                (Some(x), Some(y)) => {
+                    if y.1.tp > x.1.tp {
+                        Some(y)
+                    } else {
+                        Some(x)
+                    }
+                }
+            },
+        );
     let mut assignment = vec![None; pre.num_right()];
     let mut selected = Vec::new();
     let mut tp = 0.0;

@@ -137,6 +137,109 @@ impl NegativeRuleSet {
     }
 }
 
+/// Negative rules over *interned* word ids.
+///
+/// The single-column pipeline prepares every record once (see
+/// `autofj_text::PreparedColumn`), which includes the sorted, deduplicated
+/// word-id set of the `(lower-case + stem + remove-punctuation, space)`
+/// scheme — exactly the word set Algorithm 2's `rule_word_set` builds from
+/// the raw string.  Learning and applying rules on those id sets replaces a
+/// per-pair re-tokenization (hashing every word of both records for every
+/// blocked candidate pair) with a linear merge-walk of two sorted `u32`
+/// slices, and stores rules as id pairs instead of owned strings.
+#[derive(Debug, Clone, Default)]
+pub struct InternedRuleSet {
+    /// Normalized `(min, max)` id pairs.
+    rules: HashSet<(u32, u32)>,
+}
+
+/// If two sorted, deduplicated id sets differ by exactly one id on each
+/// side, return that `(only_in_a, only_in_b)` pair.  Early-exits as soon as
+/// a second difference appears on either side.
+fn single_id_difference(a: &[u32], b: &[u32]) -> Option<(u32, u32)> {
+    let (mut i, mut j) = (0, 0);
+    let mut only_a: Option<u32> = None;
+    let mut only_b: Option<u32> = None;
+    while i < a.len() || j < b.len() {
+        match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) if x == y => {
+                i += 1;
+                j += 1;
+            }
+            (Some(&x), Some(&y)) if x < y => {
+                if only_a.replace(x).is_some() {
+                    return None;
+                }
+                i += 1;
+            }
+            (Some(_), Some(&y)) => {
+                if only_b.replace(y).is_some() {
+                    return None;
+                }
+                j += 1;
+            }
+            (Some(&x), None) => {
+                if only_a.replace(x).is_some() {
+                    return None;
+                }
+                i += 1;
+            }
+            (None, Some(&y)) => {
+                if only_b.replace(y).is_some() {
+                    return None;
+                }
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    Some((only_a?, only_b?))
+}
+
+impl InternedRuleSet {
+    /// Learn negative rules from candidate `L–L` pairs over interned word-id
+    /// sets: `word_sets[i]` is the sorted, deduplicated id set of reference
+    /// record `i`, `ll_candidates[i]` the indices of its blocked neighbours.
+    pub fn learn<S: AsRef<[u32]>>(word_sets: &[S], ll_candidates: &[Vec<usize>]) -> Self {
+        let mut rules = HashSet::new();
+        for (i, neighbours) in ll_candidates.iter().enumerate() {
+            for &j in neighbours {
+                if i == j {
+                    continue;
+                }
+                if let Some((a, b)) =
+                    single_id_difference(word_sets[i].as_ref(), word_sets[j].as_ref())
+                {
+                    rules.insert((a.min(b), a.max(b)));
+                }
+            }
+        }
+        Self { rules }
+    }
+
+    /// Number of learned rules.
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` when no rules were learned.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Whether a candidate pair of word-id sets must be discarded (the two
+    /// sets differ by exactly one id on each side and that pair is a rule).
+    pub fn forbids(&self, left: &[u32], right: &[u32]) -> bool {
+        if self.rules.is_empty() {
+            return false;
+        }
+        match single_id_difference(left, right) {
+            Some((a, b)) => self.rules.contains(&(a.min(b), a.max(b))),
+            None => false,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -214,6 +317,55 @@ mod tests {
         let rules = NegativeRuleSet::learn(&left, &cands);
         assert!(rules.contains("football", "baseball"));
         assert!(rules.contains("2007", "2008"));
+    }
+
+    /// Intern the Algorithm-2 word sets of `records` the way the prepared
+    /// column does (sequentially, sorted + deduplicated per record).
+    fn interned_word_sets(records: &[String]) -> Vec<Vec<u32>> {
+        let mut vocab = autofj_text::vocab::Vocab::new();
+        records
+            .iter()
+            .map(|s| {
+                let mut ids: Vec<u32> = rule_word_set(s).iter().map(|w| vocab.intern(w)).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            })
+            .collect()
+    }
+
+    #[test]
+    fn interned_rules_match_string_rules() {
+        let left = reference();
+        let sets = interned_word_sets(&left);
+        let all: Vec<Vec<usize>> = (0..left.len())
+            .map(|i| (0..left.len()).filter(|&j| j != i).collect())
+            .collect();
+        let interned = InternedRuleSet::learn(&sets, &all);
+        let strings = NegativeRuleSet::learn(&left, &all);
+        assert_eq!(interned.len(), strings.len());
+        // Every pair's verdict agrees between the two representations.
+        for i in 0..left.len() {
+            for j in 0..left.len() {
+                assert_eq!(
+                    interned.forbids(&sets[i], &sets[j]),
+                    strings.forbids(&left[i], &left[j]),
+                    "verdicts diverged for ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_id_difference_walks_sorted_sets() {
+        assert_eq!(single_id_difference(&[1, 2, 3], &[1, 2, 4]), Some((3, 4)));
+        assert_eq!(single_id_difference(&[1, 2], &[1, 2]), None);
+        assert_eq!(single_id_difference(&[1, 2, 3], &[1, 4, 5]), None);
+        assert_eq!(single_id_difference(&[1], &[2]), Some((1, 2)));
+        // One-sided differences are not single-word *swaps*.
+        assert_eq!(single_id_difference(&[1, 2, 3], &[1, 2]), None);
+        assert_eq!(single_id_difference(&[], &[7]), None);
+        assert_eq!(single_id_difference(&[], &[]), None);
     }
 
     #[test]

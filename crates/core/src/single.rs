@@ -5,14 +5,20 @@
 
 use crate::estimate::Precompute;
 use crate::greedy::{run_greedy, GreedyOutcome};
-use crate::negative_rules::NegativeRuleSet;
+use crate::negative_rules::{InternedRuleSet, NegativeRuleSet};
 use crate::options::AutoFjOptions;
 use crate::oracle::{DistanceOracle, SingleColumnOracle};
 use crate::program::{Config, JoinProgram, JoinResult, JoinedPair};
-use autofj_text::JoinFunctionSpace;
+use autofj_text::prepared::scheme_index;
+use autofj_text::{JoinFunctionSpace, Preprocessing, Tokenization};
 use rayon::prelude::*;
 
 /// Run single-column Auto-FuzzyJoin over raw string columns.
+///
+/// Every record is tokenized and interned exactly once, when the oracle's
+/// prepared column is built; blocking and negative rules then run on the
+/// cached interned token sets instead of re-tokenizing per stage (or, for
+/// negative rules, per candidate pair).
 pub fn join_single_column(
     left: &[String],
     right: &[String],
@@ -28,20 +34,37 @@ pub fn join_single_column(
         return JoinResult::empty(right.len(), columns, weights);
     }
 
-    // Line 1: blocking over L–L and L–R.
-    let blocking = options.blocker().block(left, right);
+    // Prepare all records once (pre-processing, interned token sets,
+    // embeddings); the same column feeds blocking, negative rules and every
+    // distance evaluation below.
+    let oracle = SingleColumnOracle::build(space.functions(), left, right);
+    let col = oracle.column();
 
-    // Line 2: learn negative rules from L–L pairs and apply them to L–R pairs.
-    let (lr_candidates, _rules) = if options.use_negative_rules {
-        let rules = NegativeRuleSet::learn(left, &blocking.left_candidates_of_left);
-        let filtered = filter_candidates(left, right, &blocking.left_candidates_of_right, &rules);
-        (filtered, Some(rules))
+    // Line 1: blocking over L–L and L–R, on the interned 3-gram sets.
+    let blocking = options.blocker().block_prepared(col, left.len());
+
+    // Line 2: learn negative rules from L–L pairs and apply them to L–R
+    // pairs.  The rule word sets of Algorithm 2 (lower-case + stem + remove
+    // punctuation, split on whitespace) are exactly the interned token sets
+    // of the (L+S+RP, SP) scheme, already cached per record.
+    let lr_candidates = if options.use_negative_rules {
+        let si = scheme_index(Preprocessing::LowerStemRemovePunct, Tokenization::Space);
+        let word_sets: Vec<&[u32]> = (0..col.len())
+            .map(|i| col.record(i).token_sets[si].as_slice())
+            .collect();
+        let rules =
+            InternedRuleSet::learn(&word_sets[..left.len()], &blocking.left_candidates_of_left);
+        filter_candidates_interned(
+            &word_sets,
+            left.len(),
+            &blocking.left_candidates_of_right,
+            &rules,
+        )
     } else {
-        (blocking.left_candidates_of_right.clone(), None)
+        blocking.left_candidates_of_right.clone()
     };
 
     // Lines 3–4: distances + precision pre-computation.
-    let oracle = SingleColumnOracle::build(space.functions(), left, right);
     let pre = Precompute::build(
         &oracle,
         &lr_candidates,
@@ -52,6 +75,30 @@ pub fn join_single_column(
     // Lines 5–14: greedy union-of-configurations search.
     let outcome = run_greedy(&pre, options);
     assemble_result(space, &outcome, columns, weights)
+}
+
+/// Remove candidate pairs forbidden by learned interned rules; `word_sets`
+/// holds left records at `0..num_left` followed by the right records.  Each
+/// right record's candidate list is filtered independently in parallel.
+fn filter_candidates_interned(
+    word_sets: &[&[u32]],
+    num_left: usize,
+    lr_candidates: &[Vec<usize>],
+    rules: &InternedRuleSet,
+) -> Vec<Vec<usize>> {
+    if rules.is_empty() {
+        return lr_candidates.to_vec();
+    }
+    (0..lr_candidates.len())
+        .into_par_iter()
+        .map(|r| {
+            lr_candidates[r]
+                .iter()
+                .copied()
+                .filter(|&l| !rules.forbids(word_sets[l], word_sets[num_left + r]))
+                .collect()
+        })
+        .collect()
 }
 
 /// Remove candidate pairs forbidden by the learned negative rules

@@ -26,5 +26,7 @@ pub mod words;
 
 pub use multi_column::{generate_multi_column_benchmark, MultiColumnDataset};
 pub use perturb::{Perturbation, PerturbationMix};
-pub use single_column::{benchmark_specs, generate_benchmark, BenchmarkScale, DomainSpec, Family};
+pub use single_column::{
+    benchmark_specs, generate_benchmark, medium_smoke_spec, BenchmarkScale, DomainSpec, Family,
+};
 pub use task::{MultiColumnTask, SingleColumnTask};

@@ -446,6 +446,24 @@ pub fn benchmark_specs(scale: BenchmarkScale) -> Vec<DomainSpec> {
         .collect()
 }
 
+/// The medium-scale (≥ 10k × 10k) smoke-benchmark task used by the
+/// `bench_smoke` binary's `medium` leg: large enough that the execution
+/// engine's parallelism has real work to amortize over (the committed small
+/// task is only ~143×80, where thread-pool overhead dominates), yet fully
+/// deterministic and generated on the fly in a few hundred milliseconds.
+pub fn medium_smoke_spec() -> DomainSpec {
+    DomainSpec {
+        name: "TeamSeasonMedium".to_string(),
+        family: Family::TeamSeason,
+        // ⌈11_200 · 0.92⌉ = 10_304 reference rows.
+        num_entities: 11_200,
+        left_coverage: 0.92,
+        num_right: 10_500,
+        mix: PerturbationMix::balanced(),
+        seed: 0xA07F_5000,
+    }
+}
+
 /// Generate the whole 50-task benchmark at the given scale.
 pub fn generate_benchmark(scale: BenchmarkScale) -> Vec<SingleColumnTask> {
     benchmark_specs(scale)
@@ -506,6 +524,16 @@ mod tests {
         let a = specs[0].generate();
         let b = specs[1].generate();
         assert_ne!(a.left, b.left);
+    }
+
+    #[test]
+    fn medium_smoke_task_is_at_least_10k_by_10k() {
+        let task = medium_smoke_spec().generate();
+        task.validate().expect("medium task must be consistent");
+        assert!(task.left.len() >= 10_000, "|L| = {}", task.left.len());
+        assert!(task.right.len() >= 10_000, "|R| = {}", task.right.len());
+        assert!(task.num_matches() > 0);
+        assert!(task.num_matches() < task.right.len());
     }
 
     #[test]

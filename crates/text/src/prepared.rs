@@ -14,7 +14,7 @@
 
 use crate::distance::embed::{self, Embedding};
 use crate::preprocess::Preprocessing;
-use crate::tokenize::Tokenization;
+use crate::tokenize::{GramScratch, Tokenization};
 use crate::vocab::Vocab;
 use crate::weights::{TokenWeighting, WeightTable};
 use rayon::prelude::*;
@@ -82,27 +82,28 @@ struct RawPrepared {
     strings: [String; NUM_PREP],
     chars: [Vec<char>; NUM_PREP],
     embeddings: [Embedding; NUM_PREP],
-    /// Raw token strings per scheme (interned sequentially afterwards so
-    /// vocabulary ids stay deterministic regardless of thread count).
-    tokens: [Vec<String>; NUM_SCHEMES],
 }
 
-/// Records prepared in parallel per batch; bounds how much un-interned
-/// token text (8 `Vec<String>` lists per record) is alive at once, so peak
-/// memory stays close to the old fully-sequential build.
+/// Records prepared in parallel per batch; bounds how many pre-processed
+/// string variants are alive ahead of the sequential interning cursor, so
+/// peak memory stays close to a fully-sequential build.
 const PREPARE_BATCH: usize = 4096;
 
 impl PreparedColumn {
     /// Build a prepared column from raw strings.
     ///
     /// The per-record work (pre-processing, character decomposition,
-    /// embedding, tokenization) runs in parallel over fixed-size batches;
-    /// token interning then runs sequentially in record order within each
-    /// batch, so token ids — and everything derived from them — are
-    /// identical at every thread count.
+    /// embedding) runs in parallel over fixed-size batches; tokenization then
+    /// interns token ids directly into the shared vocabularies — sequentially
+    /// in record order, reusing one scratch buffer and never materializing
+    /// token strings — so token ids (and everything derived from them) are
+    /// identical at every thread count and the only steady-state allocations
+    /// are the per-record id sets themselves.
     pub fn build<S: AsRef<str> + Sync>(strings: &[S]) -> Self {
         let mut vocabs: [Vocab; NUM_SCHEMES] = Default::default();
         let mut records = Vec::with_capacity(strings.len());
+        let mut scratch = GramScratch::default();
+        let mut ids: Vec<u32> = Vec::new();
         for batch in strings.chunks(PREPARE_BATCH.max(1)) {
             let raw_records: Vec<RawPrepared> = batch
                 .par_iter()
@@ -111,7 +112,6 @@ impl PreparedColumn {
                     let mut prepped: [String; NUM_PREP] = Default::default();
                     let mut chars: [Vec<char>; NUM_PREP] = Default::default();
                     let mut embeddings = [[0f32; embed::DIM]; NUM_PREP];
-                    let mut tokens: [Vec<String>; NUM_SCHEMES] = Default::default();
                     for p in Preprocessing::ALL {
                         let pi = prep_index(p);
                         let s = p.apply(raw);
@@ -121,9 +121,6 @@ impl PreparedColumn {
                         // mean vector).
                         embeddings[pi] =
                             embed::embed_document(s.split_whitespace().map(|t| (t, 1.0)));
-                        for t in Tokenization::ALL {
-                            tokens[scheme_index(p, t)] = t.tokenize(&s);
-                        }
                         prepped[pi] = s;
                     }
                     RawPrepared {
@@ -131,14 +128,20 @@ impl PreparedColumn {
                         strings: prepped,
                         chars,
                         embeddings,
-                        tokens,
                     }
                 })
                 .collect();
             for rec in raw_records {
                 let mut token_sets: [Vec<u32>; NUM_SCHEMES] = Default::default();
-                for (si, tokens) in rec.tokens.iter().enumerate() {
-                    token_sets[si] = vocabs[si].add_document(tokens);
+                for p in Preprocessing::ALL {
+                    let pi = prep_index(p);
+                    for t in Tokenization::ALL {
+                        let si = scheme_index(p, t);
+                        ids.clear();
+                        t.intern_into(&rec.strings[pi], &mut vocabs[si], &mut ids, &mut scratch);
+                        vocabs[si].add_document_ids(&mut ids);
+                        token_sets[si] = ids.clone();
+                    }
                 }
                 records.push(PreparedRecord {
                     raw: rec.raw,

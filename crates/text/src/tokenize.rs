@@ -4,6 +4,7 @@
 //! tokenization (`3G`).  Tokenizers produce *sets* of tokens (duplicates are
 //! removed), matching the set-based distance functions of Table 1.
 
+use crate::vocab::Vocab;
 use serde::{Deserialize, Serialize};
 
 /// A tokenization option.
@@ -36,6 +37,115 @@ impl Tokenization {
             Tokenization::Gram3 => qgram_tokenize(input, 3),
         }
     }
+
+    /// Tokenize `input` directly into interned `u32` token ids, appending to
+    /// `out` (duplicates preserved, in order of appearance).  Token strings
+    /// are only allocated the first time a token enters the vocabulary, so
+    /// steady-state tokenization of a corpus allocates nothing per token —
+    /// the hot-path replacement for `tokenize` + [`Vocab::add_document`].
+    pub fn intern_into(
+        &self,
+        input: &str,
+        vocab: &mut Vocab,
+        out: &mut Vec<u32>,
+        scratch: &mut GramScratch,
+    ) {
+        match self {
+            Tokenization::Space => {
+                for word in input.split_whitespace() {
+                    out.push(vocab.intern(word));
+                }
+            }
+            Tokenization::Gram3 => qgram_intern_into(input, 3, vocab, out, scratch),
+        }
+    }
+}
+
+/// Reusable buffers for allocation-free q-gram extraction: the normalized
+/// character sequence and the current gram, rebuilt in place per record.
+#[derive(Debug, Default, Clone)]
+pub struct GramScratch {
+    chars: Vec<char>,
+    gram: String,
+}
+
+impl GramScratch {
+    /// Fill `chars` with `input`'s characters, whitespace runs collapsed to a
+    /// single space and the ends trimmed — the character-level equivalent of
+    /// [`crate::preprocess::normalize_whitespace`].
+    fn normalize(&mut self, input: &str) {
+        self.chars.clear();
+        let mut last_was_space = true;
+        for ch in input.chars() {
+            if ch.is_whitespace() {
+                if !last_was_space {
+                    self.chars.push(' ');
+                    last_was_space = true;
+                }
+            } else {
+                self.chars.push(ch);
+                last_was_space = false;
+            }
+        }
+        if self.chars.last() == Some(&' ') {
+            self.chars.pop();
+        }
+    }
+}
+
+/// Walk the q-grams of `input` (same gram boundaries as [`qgram_tokenize`])
+/// through `visit` without allocating per gram: each gram is rebuilt in the
+/// scratch string and passed by reference.
+fn for_each_qgram(input: &str, q: usize, scratch: &mut GramScratch, mut visit: impl FnMut(&str)) {
+    assert!(q >= 1, "q-gram size must be at least 1");
+    scratch.normalize(input);
+    if scratch.chars.is_empty() {
+        return;
+    }
+    if scratch.chars.len() <= q {
+        scratch.gram.clear();
+        scratch.gram.extend(scratch.chars.iter());
+        visit(&scratch.gram);
+        return;
+    }
+    for window in scratch.chars.windows(q) {
+        scratch.gram.clear();
+        scratch.gram.extend(window.iter());
+        visit(&scratch.gram);
+    }
+}
+
+/// Tokenize `input` into character q-grams and intern each gram into `vocab`,
+/// appending the ids to `out` (duplicates preserved, in order of appearance).
+/// Produces exactly the ids `qgram_tokenize(input, q)` would after interning,
+/// but allocates only when a gram is new to the vocabulary.
+pub fn qgram_intern_into(
+    input: &str,
+    q: usize,
+    vocab: &mut Vocab,
+    out: &mut Vec<u32>,
+    scratch: &mut GramScratch,
+) {
+    for_each_qgram(input, q, scratch, |gram| out.push(vocab.intern(gram)));
+}
+
+/// Tokenize `input` into character q-grams and look each gram up in an
+/// existing (read-only) vocabulary, appending the ids of *known* grams to
+/// `out`; unknown grams are skipped.  This is the probe-side path of the
+/// blocker: probing never grows the vocabulary, so it is safe to run from
+/// many workers in parallel with per-worker scratch.
+pub fn qgram_lookup_into(
+    input: &str,
+    q: usize,
+    vocab: &Vocab,
+    out: &mut Vec<u32>,
+    scratch: &mut GramScratch,
+) {
+    for_each_qgram(input, q, scratch, |gram| {
+        if let Some(id) = vocab.get(gram) {
+            out.push(id);
+        }
+    });
 }
 
 /// Split on whitespace.
@@ -116,5 +226,51 @@ mod tests {
     fn codes_are_stable() {
         assert_eq!(Tokenization::Space.code(), "SP");
         assert_eq!(Tokenization::Gram3.code(), "3G");
+    }
+
+    #[test]
+    fn interned_qgrams_match_string_qgrams() {
+        let inputs = ["2008 lsu tigers", "a  b", "ab", "", "héllo wörld", "xyz"];
+        let mut vocab = Vocab::new();
+        let mut scratch = GramScratch::default();
+        for input in inputs {
+            let strings = qgram_tokenize(input, 3);
+            let mut ids = Vec::new();
+            qgram_intern_into(input, 3, &mut vocab, &mut ids, &mut scratch);
+            assert_eq!(ids.len(), strings.len(), "{input:?}");
+            for (id, s) in ids.iter().zip(&strings) {
+                assert_eq!(vocab.token(*id), s, "{input:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn intern_into_matches_tokenize_for_both_schemes() {
+        for t in Tokenization::ALL {
+            let mut vocab = Vocab::new();
+            let mut scratch = GramScratch::default();
+            let input = "2007 LSU tigers  football";
+            let mut ids = Vec::new();
+            t.intern_into(input, &mut vocab, &mut ids, &mut scratch);
+            let strings = t.tokenize(input);
+            assert_eq!(ids.len(), strings.len());
+            for (id, s) in ids.iter().zip(&strings) {
+                assert_eq!(vocab.token(*id), s);
+            }
+        }
+    }
+
+    #[test]
+    fn lookup_skips_unknown_grams_and_never_interns() {
+        let mut vocab = Vocab::new();
+        let mut scratch = GramScratch::default();
+        let mut ids = Vec::new();
+        qgram_intern_into("abcd", 3, &mut vocab, &mut ids, &mut scratch);
+        let before = vocab.len();
+        let mut probe = Vec::new();
+        qgram_lookup_into("abcz", 3, &vocab, &mut probe, &mut scratch);
+        // "abc" is known, "bcz" is not.
+        assert_eq!(probe, vec![vocab.get("abc").unwrap()]);
+        assert_eq!(vocab.len(), before);
     }
 }

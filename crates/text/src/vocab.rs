@@ -82,6 +82,20 @@ impl Vocab {
         ids
     }
 
+    /// Register one document given its already-interned token ids: sorts and
+    /// deduplicates `ids` in place, then increments document frequencies once
+    /// per distinct token — the allocation-free equivalent of
+    /// [`Self::add_document`] for callers that interned tokens as they
+    /// tokenized (see [`crate::tokenize::qgram_intern_into`]).
+    pub fn add_document_ids(&mut self, ids: &mut Vec<u32>) {
+        ids.sort_unstable();
+        ids.dedup();
+        for &id in ids.iter() {
+            self.doc_freq[id as usize] += 1;
+        }
+        self.num_docs += 1;
+    }
+
     /// Smoothed inverse document frequency of a token id:
     /// `ln(1 + N / (1 + df))` — always strictly positive, monotonically
     /// decreasing in `df`.
@@ -138,6 +152,24 @@ mod tests {
         let rare = v.get("rare").unwrap();
         assert!(v.idf(rare) > v.idf(common));
         assert!(v.idf(common) > 0.0);
+    }
+
+    #[test]
+    fn add_document_ids_matches_add_document() {
+        let mut by_str = Vocab::new();
+        let mut by_ids = Vocab::new();
+        for doc in [&["b", "a", "b", "c"][..], &["c", "c", "d"][..]] {
+            by_str.add_document(doc);
+            let mut ids: Vec<u32> = doc.iter().map(|t| by_ids.intern(t)).collect();
+            by_ids.add_document_ids(&mut ids);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert_eq!(by_str.len(), by_ids.len());
+        assert_eq!(by_str.num_docs(), by_ids.num_docs());
+        for id in 0..by_str.len() as u32 {
+            assert_eq!(by_str.doc_freq(id), by_ids.doc_freq(id));
+            assert_eq!(by_str.token(id), by_ids.token(id));
+        }
     }
 
     #[test]

@@ -64,6 +64,44 @@ fn join_result_is_byte_identical_across_1_2_and_8_threads() {
     reset_pool();
 }
 
+/// End-to-end determinism on the medium-scale (≥ 10k×10k) datagen task that
+/// `bench_smoke` measures — the scale where the execution engine actually
+/// distributes meaningful work per chunk, so chunk-boundary bugs that a
+/// 143×80 task would never expose (uneven final chunks, per-worker scratch
+/// reuse in the blocker, interned-id summation order) get caught here.
+///
+/// Ignored by default: at this scale the pipeline is only reasonable in
+/// release mode.  CI runs it on the medium bench leg via
+/// `cargo test --release --test determinism_across_threads -- --ignored`.
+#[test]
+#[ignore = "medium-scale: run with --release ... -- --ignored (CI bench-smoke medium leg)"]
+fn medium_datagen_task_is_byte_identical_at_1_and_4_threads() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let task = autofj::datagen::medium_smoke_spec().generate();
+    assert!(task.left.len() >= 10_000 && task.right.len() >= 10_000);
+    let run_at = |threads: usize| {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("configure shim pool");
+        let result = join_single_column(
+            &task.left,
+            &task.right,
+            &JoinFunctionSpace::reduced24(),
+            &AutoFjOptions::default(),
+        );
+        serde_json::to_string(&result).expect("JoinResult serializes")
+    };
+    let baseline = run_at(1);
+    assert!(baseline.contains("\"pairs\""));
+    assert_eq!(
+        run_at(4),
+        baseline,
+        "medium-scale JoinResult diverged between 1 and 4 threads"
+    );
+    reset_pool();
+}
+
 #[test]
 fn adversarial_task_is_deterministic_at_odd_thread_counts() {
     let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());

@@ -1,16 +1,22 @@
 //! Property-based tests over the public API (proptest): distance invariants,
 //! blocking guarantees, estimator bounds and metric bounds.
 
-use autofj::block::Blocker;
+use autofj::block::{block_reference, Blocker};
 use autofj::core::{AutoFuzzyJoin, NegativeRuleSet};
 use autofj::eval::{adjusted_recall, evaluate_assignment, pr_auc, ScoredPrediction};
 use autofj::text::{JoinFunctionSpace, PreparedColumn};
 use proptest::prelude::*;
+use std::sync::Mutex;
 
 /// Strategy: short token-ish strings (letters, digits, spaces).
 fn name_strategy() -> impl Strategy<Value = String> {
     proptest::string::string_regex("[A-Za-z0-9]{1,8}( [A-Za-z0-9]{1,8}){0,5}").unwrap()
 }
+
+/// `build_global` mutates process-wide state; the blocking-equivalence
+/// property serializes its thread-count sweeps on this lock so concurrent
+/// test threads never observe a half-configured pool.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -55,6 +61,58 @@ proptest! {
         let out = Blocker::new().block(&names, std::slice::from_ref(&probe));
         let target = names.iter().position(|n| *n == probe).unwrap();
         prop_assert!(out.left_candidates_of_right[0].contains(&target));
+    }
+
+    /// The interned-id blocker (both the raw-string and the prepared-column
+    /// entry points) produces candidate lists *identical* to the retained
+    /// string-path reference implementation, across random tables, blocking
+    /// factors and thread counts.
+    #[test]
+    fn interned_blocking_matches_string_reference(
+        left in proptest::collection::vec(name_strategy(), 1..30),
+        right in proptest::collection::vec(name_strategy(), 0..15),
+        factor in 0.3f64..3.0,
+        threads in 1usize..6,
+    ) {
+        let expected = block_reference(&left, &right, factor);
+        let blocker = Blocker::with_factor(factor);
+
+        let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("configure shim pool");
+        let fast = blocker.block(&left, &right);
+        let all: Vec<&str> = left
+            .iter()
+            .map(String::as_str)
+            .chain(right.iter().map(String::as_str))
+            .collect();
+        let col = PreparedColumn::build(&all);
+        let prepared = blocker.block_prepared(&col, left.len());
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .expect("reset shim pool");
+        drop(_guard);
+
+        prop_assert_eq!(
+            &fast.left_candidates_of_right,
+            &expected.left_candidates_of_right
+        );
+        prop_assert_eq!(
+            &fast.left_candidates_of_left,
+            &expected.left_candidates_of_left
+        );
+        prop_assert_eq!(fast.candidates_per_record, expected.candidates_per_record);
+        prop_assert_eq!(
+            &prepared.left_candidates_of_right,
+            &expected.left_candidates_of_right
+        );
+        prop_assert_eq!(
+            &prepared.left_candidates_of_left,
+            &expected.left_candidates_of_left
+        );
     }
 
     /// The end-to-end joiner never panics on arbitrary inputs and always
