@@ -7,12 +7,20 @@
 //! (`TeamSeasonMedium`, ≥ 10k×10k) — each once with 1 worker thread and once
 //! with `AUTOFJ_BENCH_THREADS` (default 4), verifies that each task's runs
 //! produce a byte-identical `JoinResult`, and writes a multi-task report to
-//! `target/experiments/BENCH_pr5.json` (plus a copy at `AUTOFJ_BENCH_OUT`
+//! `target/experiments/BENCH_pr6.json` (plus a copy at `AUTOFJ_BENCH_OUT`
 //! when set), which CI uploads as a workflow artifact.
+//!
+//! Every run records a `phases` breakdown (wall-clock per pipeline phase,
+//! from `autofj_core::timing`) and the execution engine's CPU-clock
+//! work/span counters, from which the report derives `parallel_effective`:
+//! the speedup the multi-thread leg would show on a host with one core per
+//! worker (serial CPU time stays, each parallel region contracts to its
+//! critical path).  Wall-clock `speedup` stays recorded but is meaningless
+//! on a core-starved CI host; the gate reads the CPU-clock model instead.
 //!
 //! `AUTOFJ_SCALE` selects the task set: `small` or `medium` run just that
 //! task (the CI matrix runs one leg per scale); anything else — including
-//! unset — runs both, which is how the committed `BENCH_pr5.json` baseline
+//! unset — runs both, which is how the committed `BENCH_pr6.json` baseline
 //! at the repository root is produced.
 //!
 //! When `AUTOFJ_BENCH_BASELINE` points at a committed report, the run doubles
@@ -23,29 +31,48 @@
 //! CI, but a PR that silently changes *what* the pipeline computes does.
 //!
 //! ```bash
-//! AUTOFJ_BENCH_BASELINE=BENCH_pr5.json \
+//! AUTOFJ_BENCH_BASELINE=BENCH_pr6.json \
 //!   cargo run --release -p autofj-bench --bin bench_smoke
 //! ```
 //!
-//! Exits non-zero if any task's results differ across thread counts or any
-//! quality field drifts from the baseline.
+//! Exits non-zero if any task's results differ across thread counts, any
+//! quality field drifts from the baseline, or the medium task's
+//! `parallel_effective` falls below [`MIN_PARALLEL_EFFECTIVE`].
 
 use autofj_bench::runner::{autofj_options, run_autofj};
 use autofj_bench::{write_json, Reporter};
+use autofj_core::timing::{self, PhaseTiming};
 use autofj_core::JoinResult;
 use autofj_datagen::{benchmark_specs, medium_smoke_spec, BenchmarkScale, SingleColumnTask};
 use autofj_text::JoinFunctionSpace;
 use serde::{Deserialize, Serialize};
+
+/// Minimum modeled parallel speedup ([`effective_speedup`]) the medium task
+/// must reach at the default 4 worker threads.  This is the PR 6 bench gate;
+/// PR 5 only required the wall-clock ratio to exceed 1, which a core-starved
+/// host satisfies vacuously.
+const MIN_PARALLEL_EFFECTIVE: f64 = 2.5;
 
 /// One timed pipeline execution at a fixed thread count.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 struct BenchRun {
     threads: usize,
     seconds: f64,
+    /// Process CPU seconds consumed by the run (all threads).
+    cpu_seconds: f64,
+    /// Σ over parallel regions of every worker's CPU time inside the region.
+    parallel_work_seconds: f64,
+    /// Σ over parallel regions of the slowest worker's CPU time — the
+    /// critical path a fully-provisioned host could not beat.
+    parallel_span_seconds: f64,
     joined: usize,
     estimated_precision: f64,
     actual_precision: f64,
     actual_recall: f64,
+    /// Wall-clock per pipeline phase (prepare, block, negative_rules,
+    /// precompute, greedy_round/score, greedy_round/argmax,
+    /// conflict_resolve, assemble).
+    phases: Vec<PhaseTiming>,
 }
 
 /// Measurements of one task across thread counts.
@@ -56,16 +83,49 @@ struct TaskBench {
     size: (usize, usize),
     space: String,
     runs: Vec<BenchRun>,
-    /// Wall-clock ratio of the 1-thread run over the multi-thread run.
+    /// Wall-clock ratio of the 1-thread run over the multi-thread run.  On a
+    /// host with fewer cores than workers this hovers near 1 no matter how
+    /// parallel the pipeline is; `parallel_effective` is the field that
+    /// actually measures parallelism.
     speedup: f64,
-    /// `true` when the multi-thread run was strictly faster (`speedup > 1`).
-    /// A sub-1× result on a tiny task is expected (thread-pool overhead
-    /// dominates 40 ms of work) and is labeled here rather than silently
-    /// recorded as a regression.
-    parallel_effective: bool,
+    /// Modeled speedup of the multi-thread run on a host with one core per
+    /// worker, from CPU clocks: serial CPU time stays, every parallel region
+    /// contracts to its critical path.  See [`effective_speedup`].
+    parallel_effective: f64,
     /// Whether every run of this task produced a byte-identical serialized
     /// `JoinResult`.
     identical_results: bool,
+}
+
+/// Wall-clock ratio `base / test`, robust to near-zero timings: two ~0 s
+/// legs compare equal (1.0) instead of dividing zero by zero, and a zero
+/// denominator can never produce inf/NaN (the small 143×80 task finishes in
+/// tens of milliseconds, where both hazards are real).
+fn wall_ratio(base: f64, test: f64) -> f64 {
+    const FLOOR: f64 = 1e-9;
+    if base <= FLOOR && test <= FLOOR {
+        return 1.0;
+    }
+    base.max(FLOOR) / test.max(FLOOR)
+}
+
+/// Speedup a host with one core per worker would see for a run that spent
+/// `total` process-CPU seconds, of which `work` inside parallel regions with
+/// critical path `span`: serial time stays, each region contracts from its
+/// summed work to its slowest worker.  Degenerate inputs (no CPU measured,
+/// no parallel regions, clock skew making `span > work`) all degrade to a
+/// finite, NaN-free ratio ≥ 1.
+fn effective_speedup(total: f64, work: f64, span: f64) -> f64 {
+    if total <= 0.0 || work <= 0.0 {
+        return 1.0;
+    }
+    let work = work.min(total);
+    let serial = total - work;
+    let modeled = serial + span.clamp(0.0, work);
+    if modeled <= 0.0 {
+        return 1.0;
+    }
+    (total / modeled).max(1.0)
 }
 
 /// The persisted smoke report — one entry of the benchmark trajectory.
@@ -96,16 +156,25 @@ fn bench_task(
             .num_threads(threads)
             .build_global()
             .expect("configure shim pool");
+        timing::reset();
+        rayon::reset_engine_stats();
+        let cpu_before = rayon::process_cpu_nanos();
         let (result, quality, _pepcc, seconds): (JoinResult, _, _, _) =
             run_autofj(task, space, &options);
+        let cpu_seconds = rayon::process_cpu_nanos().saturating_sub(cpu_before) as f64 * 1e-9;
+        let engine = rayon::engine_stats();
         serialized.push(serde_json::to_string(&result).expect("JoinResult serializes"));
         runs.push(BenchRun {
             threads,
             seconds,
+            cpu_seconds,
+            parallel_work_seconds: engine.parallel_work_seconds,
+            parallel_span_seconds: engine.parallel_span_seconds,
             joined: result.num_joined(),
             estimated_precision: result.estimated_precision,
             actual_precision: quality.precision,
             actual_recall: quality.recall_relative,
+            phases: timing::snapshot(),
         });
     }
     // Restore the environment-driven default for anything running after us.
@@ -114,7 +183,13 @@ fn bench_task(
         .build_global()
         .expect("reset shim pool");
 
-    let speedup = runs[0].seconds / runs[1].seconds.max(1e-9);
+    let speedup = wall_ratio(runs[0].seconds, runs[1].seconds);
+    let multi = &runs[1];
+    let parallel_effective = effective_speedup(
+        multi.cpu_seconds,
+        multi.parallel_work_seconds,
+        multi.parallel_span_seconds,
+    );
     TaskBench {
         task: task.name.clone(),
         scale: scale.to_string(),
@@ -122,7 +197,7 @@ fn bench_task(
         space: space.label().to_string(),
         runs,
         speedup,
-        parallel_effective: speedup > 1.0,
+        parallel_effective,
         identical_results: serialized.windows(2).all(|w| w[0] == w[1]),
     }
 }
@@ -255,12 +330,23 @@ fn main() {
     table.print();
     for t in &report.tasks {
         println!(
-            "{}: speedup (1 -> {multi_threads} threads) {:.2}x, parallel_effective: {}, identical results: {}",
+            "{}: wall speedup (1 -> {multi_threads} threads) {:.2}x, \
+             parallel_effective {:.2}x, identical results: {}",
             t.task, t.speedup, t.parallel_effective, t.identical_results
         );
+        if let Some(multi) = t.runs.last() {
+            for p in &multi.phases {
+                if p.seconds >= 0.001 {
+                    println!(
+                        "  {:<22} {:>9.3}s  ({} entries)",
+                        p.phase, p.seconds, p.entries
+                    );
+                }
+            }
+        }
     }
 
-    let path = write_json("BENCH_pr5", &report);
+    let path = write_json("BENCH_pr6", &report);
     println!("wrote {}", path.display());
     if let Ok(extra) = std::env::var("AUTOFJ_BENCH_OUT") {
         if let Err(e) = std::fs::copy(&path, &extra) {
@@ -274,6 +360,20 @@ fn main() {
     if !report.identical_results {
         eprintln!("ERROR: results differ across thread counts");
         failed = true;
+    }
+
+    // Parallelism gate: the medium task must show a modeled multi-thread
+    // speedup of at least MIN_PARALLEL_EFFECTIVE.  The small task stays
+    // informational — at ~40 ms of work, fork overhead legitimately eats
+    // most of the parallel win.
+    for t in &report.tasks {
+        if t.scale == "medium" && t.parallel_effective < MIN_PARALLEL_EFFECTIVE {
+            eprintln!(
+                "ERROR: {}: parallel_effective {:.2}x < required {MIN_PARALLEL_EFFECTIVE}x",
+                t.task, t.parallel_effective
+            );
+            failed = true;
+        }
     }
 
     // Bench gate: quality fields must match the committed baseline exactly.
@@ -322,5 +422,52 @@ fn main() {
 
     if failed {
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{effective_speedup, wall_ratio};
+
+    #[test]
+    fn wall_ratio_never_produces_inf_or_nan() {
+        for (base, test) in [
+            (0.0, 0.0),
+            (0.0, 1.0),
+            (1.0, 0.0),
+            (1e-12, 1e-12),
+            (0.04, 0.03),
+            (150.0, 60.0),
+        ] {
+            let r = wall_ratio(base, test);
+            assert!(r.is_finite(), "wall_ratio({base}, {test}) = {r}");
+            assert!(r >= 0.0);
+        }
+        assert_eq!(wall_ratio(0.0, 0.0), 1.0, "two idle legs compare equal");
+        assert!((wall_ratio(2.0, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_speedup_is_finite_and_at_least_one() {
+        for (total, work, span) in [
+            (0.0, 0.0, 0.0),
+            (1.0, 0.0, 0.0),
+            (1.0, 2.0, 0.5),  // clock skew: work > total
+            (1.0, 0.8, 0.9),  // clock skew: span > work
+            (10.0, 8.0, 2.0), // the healthy case
+            (1.0, 1.0, 0.0),  // degenerate zero span
+        ] {
+            let s = effective_speedup(total, work, span);
+            assert!(
+                s.is_finite(),
+                "effective_speedup({total},{work},{span})={s}"
+            );
+            assert!(s >= 1.0);
+        }
+        // 10 s CPU, 8 s inside regions with a 2 s critical path: a
+        // fully-provisioned host runs it in 2 + 2 = 4 s → 2.5x.
+        assert!((effective_speedup(10.0, 8.0, 2.0) - 2.5).abs() < 1e-12);
+        // Fully serial run models no speedup at all.
+        assert_eq!(effective_speedup(5.0, 0.0, 0.0), 1.0);
     }
 }

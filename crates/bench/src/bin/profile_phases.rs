@@ -1,0 +1,82 @@
+//! Phase-timing profiler: run the pipeline once on a smoke task and print
+//! where the wall-clock time goes.
+//!
+//! This is the interactive companion of the `phases` section that
+//! `bench_smoke` persists into `BENCH_*.json`: one run, one table, no gate —
+//! for answering "where do the seconds go?" before touching the code.
+//!
+//! ```bash
+//! AUTOFJ_SCALE=medium RAYON_NUM_THREADS=1 \
+//!   cargo run --release -p autofj-bench --bin profile_phases
+//! ```
+//!
+//! Environment:
+//! * `AUTOFJ_SCALE` — `small` (default) or `medium`: which smoke task to run.
+//! * `RAYON_NUM_THREADS` — worker threads of the execution engine.
+//! * `AUTOFJ_SPACE` — optional bigger configuration space (see `bench_smoke`).
+
+use autofj_bench::runner::{autofj_options, run_autofj};
+use autofj_bench::Reporter;
+use autofj_core::timing;
+use autofj_datagen::{benchmark_specs, medium_smoke_spec, BenchmarkScale};
+use autofj_text::JoinFunctionSpace;
+
+fn main() {
+    let scale = std::env::var("AUTOFJ_SCALE")
+        .unwrap_or_default()
+        .to_lowercase();
+    let task = match scale.as_str() {
+        "medium" => medium_smoke_spec().generate(),
+        _ => benchmark_specs(BenchmarkScale::Small)[36].generate(),
+    };
+    let space = match std::env::var("AUTOFJ_SPACE") {
+        Ok(_) => autofj_bench::runner::env_space(),
+        Err(_) => JoinFunctionSpace::reduced24(),
+    };
+    let threads = rayon::current_num_threads();
+    eprintln!(
+        "profile-phases: {} ({}x{}), space {}, {} thread(s)",
+        task.name,
+        task.left.len(),
+        task.right.len(),
+        space.label(),
+        threads
+    );
+
+    timing::reset();
+    rayon::reset_engine_stats();
+    let (result, quality, _pepcc, seconds) = run_autofj(&task, &space, &autofj_options());
+    let phases = timing::snapshot();
+    let engine = rayon::engine_stats();
+
+    let mut table = Reporter::new(
+        "profile-phases: wall-clock per pipeline phase",
+        &["Phase", "Seconds", "Share", "Entries"],
+    );
+    for p in &phases {
+        table.add_row(vec![
+            p.phase.clone(),
+            format!("{:.3}", p.seconds),
+            format!("{:.1}%", 100.0 * p.seconds / seconds.max(1e-9)),
+            p.entries.to_string(),
+        ]);
+    }
+    table.print();
+    let accounted: f64 = phases.iter().map(|p| p.seconds).sum();
+    println!(
+        "total {seconds:.3}s (phases cover {:.1}%), joined {}, precision {:.3}, recall {:.3}",
+        100.0 * accounted / seconds.max(1e-9),
+        result.num_joined(),
+        quality.precision,
+        quality.recall_relative,
+    );
+    println!(
+        "engine: parallel work {:.3}s over {} region(s), critical path {:.3}s \
+         (balance {:.2}x at {} worker(s))",
+        engine.parallel_work_seconds,
+        engine.parallel_regions,
+        engine.parallel_span_seconds,
+        engine.parallel_work_seconds / engine.parallel_span_seconds.max(1e-9),
+        threads,
+    );
+}

@@ -13,11 +13,33 @@
 //! number of reference records inside the ball (Eq. 8/9): a clean ball means
 //! the join is "safe", a crowded ball means the threshold is too lax in that
 //! record's neighbourhood.
+//!
+//! # The incremental-estimate invariant
+//!
+//! Everything a greedy round needs about a candidate configuration
+//! `C = ⟨f, θ⟩` is **frozen at pre-compute time**: the coverage of `C` (the
+//! prefix of [`FunctionStats::sorted_rights`] with distance ≤ θ) and the
+//! per-pair precision [`FunctionStats::precision_at_rank`] depend only on
+//! this pre-compute, never on the evolving assignment.  A candidate's
+//! marginal TP/FP delta against the current assignment is therefore a sum of
+//! *per-right* contributions, where each contribution is a pure function of
+//! `(rank, assignment[r])`.  This is what makes the greedy search's
+//! incremental re-scoring exact rather than approximate: if none of a
+//! candidate's covered right records changed assignment since its delta was
+//! last computed, every per-right contribution — and, because the summation
+//! order over ranks is fixed, the floating-point sum itself — is
+//! **bit-identical** to a recompute-from-scratch.  The search only needs to
+//! re-score candidates whose threshold reaches the nearest-distance of some
+//! re-assigned right record (`θ ≥ min_changed d_f(r)`); see
+//! `greedy::run_greedy` and the `run_greedy_reference` equivalence tests.
 
 use crate::options::BallMode;
 use crate::oracle::DistanceOracle;
 use rayon::prelude::*;
-use std::collections::HashMap;
+
+/// Tolerance for neighbours sitting exactly on the ball boundary; see
+/// [`FunctionStats::precision_at_rank`].
+const BOUNDARY_EPS: f64 = 1e-6;
 
 /// Pre-computed statistics for one join function.
 #[derive(Debug, Clone)]
@@ -28,15 +50,32 @@ pub struct FunctionStats {
     /// Right records that have a nearest candidate, sorted by ascending
     /// distance (ties broken by right index for determinism).
     pub sorted_rights: Vec<(u32, f32)>,
-    /// For every left record appearing as someone's nearest neighbour: the
-    /// ascending distances to its blocked left neighbours.
-    pub ll_sorted: HashMap<u32, Vec<f32>>,
+    /// The nearest left record of each entry of `sorted_rights` (same order),
+    /// so the greedy search's hot loop skips the `nearest` indirection.
+    pub lefts: Vec<u32>,
+    /// Indexed by left record: the ascending distances to its blocked left
+    /// neighbours, populated only for left records appearing as someone's
+    /// nearest neighbour (all other entries stay empty — an empty
+    /// neighbourhood and an absent one both count zero ball neighbours).
+    pub ll_sorted: Vec<Vec<f32>>,
     /// Candidate thresholds for this function, ascending and deduplicated.
     pub thresholds: Vec<f32>,
+    /// `ball_counts[t][l]`: number of reference neighbours of left record `l`
+    /// inside the `2·thresholds[t]` ball — the [`BallMode::ConfigTheta`]
+    /// cutoff depends only on the threshold and the left record, so the
+    /// greedy search's per-pair precision becomes one table lookup instead
+    /// of a binary search over `ll_sorted` per rank.
+    pub ball_counts: Vec<Vec<u32>>,
 }
 
 impl FunctionStats {
     /// Build the statistics for function `f_idx`.
+    ///
+    /// The per-right nearest-neighbour probes and the per-left neighbourhood
+    /// scans are independent, so both run as parallel maps over records;
+    /// results are collected in input order, which keeps the output
+    /// bit-identical at every thread count (no floating-point accumulation
+    /// crosses a chunk boundary).
     pub fn build<O: DistanceOracle>(
         f_idx: usize,
         oracle: &O,
@@ -45,21 +84,24 @@ impl FunctionStats {
         num_thresholds: usize,
     ) -> Self {
         let num_right = oracle.num_right();
-        let mut nearest: Vec<Option<(u32, f32)>> = Vec::with_capacity(num_right);
-        for (r, cands) in lr_candidates.iter().enumerate().take(num_right) {
-            let mut best: Option<(u32, f32)> = None;
-            for &l in cands {
-                let d = oracle.lr(f_idx, l, r) as f32;
-                if !d.is_finite() {
-                    continue;
+        let nearest: Vec<Option<(u32, f32)>> = (0..num_right.min(lr_candidates.len()))
+            .into_par_iter()
+            .with_min_len(64)
+            .map(|r| {
+                let mut best: Option<(u32, f32)> = None;
+                for &l in &lr_candidates[r] {
+                    let d = oracle.lr(f_idx, l, r) as f32;
+                    if !d.is_finite() {
+                        continue;
+                    }
+                    match best {
+                        Some((_, bd)) if d >= bd => {}
+                        _ => best = Some((l as u32, d)),
+                    }
                 }
-                match best {
-                    Some((_, bd)) if d >= bd => {}
-                    _ => best = Some((l as u32, d)),
-                }
-            }
-            nearest.push(best);
-        }
+                best
+            })
+            .collect();
 
         let mut sorted_rights: Vec<(u32, f32)> = nearest
             .iter()
@@ -72,34 +114,81 @@ impl FunctionStats {
                 .then(a.0.cmp(&b.0))
         });
 
-        // L–L neighbourhood distances, only for the left records that matter.
-        let mut ll_sorted: HashMap<u32, Vec<f32>> = HashMap::new();
+        // L–L neighbourhood distances, only for the left records that matter
+        // (those appearing as someone's nearest neighbour).
+        let num_left = oracle.num_left();
+        let mut needed = vec![false; num_left];
         for n in nearest.iter().flatten() {
-            ll_sorted.entry(n.0).or_default();
+            needed[n.0 as usize] = true;
         }
-        for (l, dists) in ll_sorted.iter_mut() {
-            let l = *l as usize;
-            let mut v: Vec<f32> = ll_candidates
-                .get(l)
-                .map(|cands| {
-                    cands
-                        .iter()
-                        .map(|&l2| oracle.ll(f_idx, l, l2) as f32)
-                        .filter(|d| d.is_finite())
-                        .collect()
-                })
-                .unwrap_or_default();
-            v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-            *dists = v;
+        let keys: Vec<u32> = (0..num_left as u32)
+            .filter(|&l| needed[l as usize])
+            .collect();
+        let neighbourhoods: Vec<Vec<f32>> = keys
+            .par_iter()
+            .with_min_len(16)
+            .map(|&l| {
+                let l = l as usize;
+                let mut v: Vec<f32> = ll_candidates
+                    .get(l)
+                    .map(|cands| {
+                        cands
+                            .iter()
+                            .map(|&l2| oracle.ll(f_idx, l, l2) as f32)
+                            .filter(|d| d.is_finite())
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                v
+            })
+            .collect();
+        let mut ll_sorted: Vec<Vec<f32>> = vec![Vec::new(); num_left];
+        for (l, v) in keys.into_iter().zip(neighbourhoods) {
+            ll_sorted[l as usize] = v;
         }
 
         let thresholds = pick_thresholds(&sorted_rights, num_thresholds);
+        Self::from_raw(nearest, sorted_rights, ll_sorted, thresholds)
+    }
 
+    /// Assemble statistics from their raw parts, computing the derived
+    /// `lefts` and `ball_counts` tables.  Used by [`Self::build`] and by
+    /// tests that hand-craft degenerate inputs.
+    pub fn from_raw(
+        nearest: Vec<Option<(u32, f32)>>,
+        sorted_rights: Vec<(u32, f32)>,
+        ll_sorted: Vec<Vec<f32>>,
+        thresholds: Vec<f32>,
+    ) -> Self {
+        let lefts: Vec<u32> = sorted_rights
+            .iter()
+            .map(|&(r, _)| {
+                nearest[r as usize]
+                    .expect("sorted right record has a nearest")
+                    .0
+            })
+            .collect();
+        // Integer counts collected in threshold order: deterministic at any
+        // thread count.  The cutoff formula must match `precision_at_rank`
+        // exactly so the table lookup stays bit-identical to the search.
+        let ball_counts: Vec<Vec<u32>> = thresholds
+            .par_iter()
+            .map(|&theta| {
+                let cutoff = (2.0 * theta as f64 - BOUNDARY_EPS).max(0.5 * BOUNDARY_EPS);
+                ll_sorted
+                    .iter()
+                    .map(|n| n.partition_point(|&x| (x as f64) < cutoff) as u32)
+                    .collect()
+            })
+            .collect();
         Self {
             nearest,
             sorted_rights,
+            lefts,
             ll_sorted,
             thresholds,
+            ball_counts,
         }
     }
 
@@ -124,7 +213,6 @@ impl FunctionStats {
     /// otherwise an exactly-duplicated (e.g. categorical) value would look
     /// perfectly safe.
     pub fn precision_at_rank(&self, rank: usize, theta: f32, mode: BallMode) -> f64 {
-        const BOUNDARY_EPS: f64 = 1e-6;
         let (r, d) = self.sorted_rights[rank];
         let l = self.nearest[r as usize]
             .expect("rank refers to a joined right record")
@@ -134,12 +222,20 @@ impl FunctionStats {
             BallMode::PairDistance => 2.0 * d as f64,
         };
         let cutoff = (radius - BOUNDARY_EPS).max(0.5 * BOUNDARY_EPS);
-        let neighbours_in_ball = self
-            .ll_sorted
-            .get(&l)
-            .map(|v| v.partition_point(|&x| (x as f64) < cutoff))
-            .unwrap_or(0);
+        let neighbours_in_ball =
+            self.ll_sorted[l as usize].partition_point(|&x| (x as f64) < cutoff);
         1.0 / (1.0 + neighbours_in_ball as f64)
+    }
+
+    /// O(1) per-pair precision for the right record at `rank` under the
+    /// threshold at `threshold_idx` — bit-identical to
+    /// [`Self::precision_at_rank`] with [`BallMode::ConfigTheta`] and the
+    /// same threshold (the table caches the identical partition-point count
+    /// and the quotient is computed the same way).
+    #[inline]
+    pub fn precision_at_threshold_idx(&self, rank: usize, threshold_idx: usize) -> f64 {
+        let l = self.lefts[rank];
+        1.0 / (1.0 + self.ball_counts[threshold_idx][l as usize] as f64)
     }
 
     /// The nearest left record and distance of right record `r`, if any.
@@ -181,19 +277,57 @@ pub struct Precompute {
 
 impl Precompute {
     /// Build the statistics for every function, in parallel.
+    ///
+    /// Two parallelization strategies produce the same result; which one is
+    /// faster depends on the table size.  On large tables the work *within*
+    /// one function dominates and functions have wildly different unit costs
+    /// (an `O(len²)` edit-distance DP vs an interned-set merge walk), so a
+    /// chunk-of-functions split leaves most workers idle behind the chunk
+    /// that drew the char-based functions; building functions one after
+    /// another with record-parallel inner loops keeps every chunk the same
+    /// shape.  On small tables the inner loops are too short to amortize a
+    /// fork, so the function-level split wins.  Both orders compute every
+    /// `FunctionStats` independently and collect in function order, so the
+    /// choice (and the thread count) never changes a byte of the output.
     pub fn build<O: DistanceOracle>(
         oracle: &O,
         lr_candidates: &[Vec<usize>],
         ll_candidates: &[Vec<usize>],
         num_thresholds: usize,
     ) -> Self {
-        let functions: Vec<FunctionStats> = (0..oracle.num_functions())
-            .into_par_iter()
-            .map(|f| FunctionStats::build(f, oracle, lr_candidates, ll_candidates, num_thresholds))
-            .collect();
+        /// Below this many right records the per-function inner loops are too
+        /// short to be worth forking, so functions are built in parallel
+        /// instead (the pre-PR6 strategy).
+        const INNER_PARALLEL_MIN_RIGHTS: usize = 2048;
+        let functions: Vec<FunctionStats> = if oracle.num_right() >= INNER_PARALLEL_MIN_RIGHTS {
+            (0..oracle.num_functions())
+                .map(|f| {
+                    FunctionStats::build(f, oracle, lr_candidates, ll_candidates, num_thresholds)
+                })
+                .collect()
+        } else {
+            (0..oracle.num_functions())
+                .into_par_iter()
+                .map(|f| {
+                    FunctionStats::build(f, oracle, lr_candidates, ll_candidates, num_thresholds)
+                })
+                .collect()
+        };
         Self {
             functions,
             num_right: oracle.num_right(),
+        }
+    }
+
+    /// Assemble a pre-compute from already-built per-function statistics.
+    ///
+    /// Used by tests that need hand-crafted degenerate inputs (zero-join
+    /// rounds, overlapping candidate coverage) without driving a full
+    /// oracle, and by future callers that persist and reload statistics.
+    pub fn from_parts(functions: Vec<FunctionStats>, num_right: usize) -> Self {
+        Self {
+            functions,
+            num_right,
         }
     }
 

@@ -34,6 +34,7 @@ pub mod oracle;
 pub mod program;
 pub mod single;
 pub mod table;
+pub mod timing;
 
 pub use negative_rules::{NegativeRule, NegativeRuleSet};
 pub use options::{AutoFjOptions, BallMode};

@@ -9,6 +9,7 @@ use crate::negative_rules::{InternedRuleSet, NegativeRuleSet};
 use crate::options::AutoFjOptions;
 use crate::oracle::{DistanceOracle, SingleColumnOracle};
 use crate::program::{Config, JoinProgram, JoinResult, JoinedPair};
+use crate::timing::{self, Phase};
 use autofj_text::prepared::scheme_index;
 use autofj_text::{JoinFunctionSpace, Preprocessing, Tokenization};
 use rayon::prelude::*;
@@ -37,17 +38,24 @@ pub fn join_single_column(
     // Prepare all records once (pre-processing, interned token sets,
     // embeddings); the same column feeds blocking, negative rules and every
     // distance evaluation below.
-    let oracle = SingleColumnOracle::build(space.functions(), left, right);
+    let oracle = {
+        let _t = timing::scoped(Phase::Prepare);
+        SingleColumnOracle::build(space.functions(), left, right)
+    };
     let col = oracle.column();
 
     // Line 1: blocking over L–L and L–R, on the interned 3-gram sets.
-    let blocking = options.blocker().block_prepared(col, left.len());
+    let blocking = {
+        let _t = timing::scoped(Phase::Block);
+        options.blocker().block_prepared(col, left.len())
+    };
 
     // Line 2: learn negative rules from L–L pairs and apply them to L–R
     // pairs.  The rule word sets of Algorithm 2 (lower-case + stem + remove
     // punctuation, split on whitespace) are exactly the interned token sets
     // of the (L+S+RP, SP) scheme, already cached per record.
     let lr_candidates = if options.use_negative_rules {
+        let _t = timing::scoped(Phase::NegativeRules);
         let si = scheme_index(Preprocessing::LowerStemRemovePunct, Tokenization::Space);
         let word_sets: Vec<&[u32]> = (0..col.len())
             .map(|i| col.record(i).token_sets[si].as_slice())
@@ -65,15 +73,20 @@ pub fn join_single_column(
     };
 
     // Lines 3–4: distances + precision pre-computation.
-    let pre = Precompute::build(
-        &oracle,
-        &lr_candidates,
-        &blocking.left_candidates_of_left,
-        options.num_thresholds,
-    );
+    let pre = {
+        let _t = timing::scoped(Phase::Precompute);
+        Precompute::build(
+            &oracle,
+            &lr_candidates,
+            &blocking.left_candidates_of_left,
+            options.num_thresholds,
+        )
+    };
 
-    // Lines 5–14: greedy union-of-configurations search.
+    // Lines 5–14: greedy union-of-configurations search (the greedy module
+    // times its own score / argmax / conflict-resolve sub-phases).
     let outcome = run_greedy(&pre, options);
+    let _t = timing::scoped(Phase::Assemble);
     assemble_result(space, &outcome, columns, weights)
 }
 

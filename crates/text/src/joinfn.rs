@@ -378,16 +378,51 @@ impl JoinFunctionSpace {
     }
 
     /// Evaluate every function of the space over a batch of `(left, right)`
-    /// record-index pairs of a prepared column, in parallel over functions.
+    /// record-index pairs of a prepared column, in parallel over
+    /// `(function, pair-block)` work items.
     ///
     /// Returns one distance vector per function, aligned with
     /// [`Self::functions`] and with `pairs` — the batched equivalent of
     /// calling [`JoinFunction::distance`] in two nested loops, and the
     /// entry point future sharding/batching layers distribute over workers.
+    ///
+    /// Splitting by function alone strands the expensive `O(len²)`
+    /// char-based functions in one worker's chunk while the set-based merge
+    /// walks finish early; the flattened item list interleaves fixed-size
+    /// pair blocks of every function, so unit costs even out regardless of
+    /// which functions a chunk draws.  The block size is a constant (never
+    /// derived from the thread count) and every item lands at a fixed
+    /// position in the output, so results are identical at any parallelism.
     pub fn batch_distances(&self, col: &PreparedColumn, pairs: &[(usize, usize)]) -> Vec<Vec<f64>> {
-        self.functions
+        const PAIR_BLOCK: usize = 1024;
+        if pairs.is_empty() {
+            return vec![Vec::new(); self.functions.len()];
+        }
+        let blocks_per_fn = pairs.len().div_ceil(PAIR_BLOCK);
+        let items: Vec<(usize, usize)> = (0..self.functions.len())
+            .flat_map(|f| (0..blocks_per_fn).map(move |b| (f, b)))
+            .collect();
+        let evaluated: Vec<Vec<f64>> = items
             .par_iter()
-            .map(|f| pairs.iter().map(|&(l, r)| f.distance(col, l, r)).collect())
+            .map(|&(fi, b)| {
+                let f = &self.functions[fi];
+                let start = b * PAIR_BLOCK;
+                let end = (start + PAIR_BLOCK).min(pairs.len());
+                pairs[start..end]
+                    .iter()
+                    .map(|&(l, r)| f.distance(col, l, r))
+                    .collect()
+            })
+            .collect();
+        evaluated
+            .chunks(blocks_per_fn)
+            .map(|blocks| {
+                let mut row = Vec::with_capacity(pairs.len());
+                for block in blocks {
+                    row.extend_from_slice(block);
+                }
+                row
+            })
             .collect()
     }
 }

@@ -34,7 +34,7 @@
 //! scoped pools under real rayon.
 
 use std::cell::Cell;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Process-wide thread-count override installed by
@@ -110,6 +110,119 @@ impl ThreadPoolBuilder {
         GLOBAL_NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
         Ok(())
     }
+}
+
+/// Nanoseconds of CPU time consumed by worker threads inside parallel
+/// regions since the last [`reset_engine_stats`] (the "work").
+static PARALLEL_WORK_NANOS: AtomicU64 = AtomicU64::new(0);
+/// Nanoseconds on the critical path of those regions: per region, the CPU
+/// time of its slowest chunk (the "span").
+static PARALLEL_SPAN_NANOS: AtomicU64 = AtomicU64::new(0);
+/// Number of genuinely parallel regions (more than one chunk) executed.
+static PARALLEL_REGIONS: AtomicU64 = AtomicU64::new(0);
+
+/// CPU time consumed by the calling thread, in nanoseconds.
+///
+/// Uses `CLOCK_THREAD_CPUTIME_ID`, so the measurement is correct even when
+/// more threads run than the host has cores and the workers timeslice — the
+/// situation where wall-clock chunk timings become meaningless.  Falls back
+/// to a monotonic wall clock on non-Linux targets.
+fn thread_cpu_nanos() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        clock_nanos(3 /* CLOCK_THREAD_CPUTIME_ID */)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        use std::time::Instant;
+        static EPOCH: OnceLock<Instant> = OnceLock::new();
+        let epoch = *EPOCH.get_or_init(Instant::now);
+        epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+}
+
+/// CPU time consumed by the whole process, in nanoseconds.
+///
+/// Together with [`engine_stats`] this lets a benchmark split a run into
+/// "serial CPU" (total minus parallel work) and model the wall time a
+/// machine with one core per worker would achieve (serial plus span).
+pub fn process_cpu_nanos() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        clock_nanos(2 /* CLOCK_PROCESS_CPUTIME_ID */)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        thread_cpu_nanos()
+    }
+}
+
+#[cfg(target_os = "linux")]
+fn clock_nanos(clock_id: i32) -> u64 {
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+    extern "C" {
+        fn clock_gettime(clk_id: i32, tp: *mut Timespec) -> i32;
+    }
+    let mut ts = Timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    // SAFETY: `ts` is a valid, writable `timespec`-layout struct and the
+    // clock ids used are always available on Linux.
+    let rc = unsafe { clock_gettime(clock_id, &mut ts) };
+    if rc != 0 {
+        return 0;
+    }
+    (ts.tv_sec as u64).saturating_mul(1_000_000_000) + ts.tv_nsec as u64
+}
+
+/// Work/span counters of the execution engine's parallel regions.
+///
+/// For every parallel region (a terminal operation that actually split its
+/// input into more than one chunk), the engine records each worker's **CPU
+/// time** over its chunk: the region's *work* is the sum, its *span* the
+/// maximum.  Accumulated over a run,
+///
+/// * `parallel_work_seconds` is the CPU time that was eligible to run
+///   concurrently,
+/// * `parallel_span_seconds` is the part of it on the critical path — what
+///   a host with (at least) one core per worker would have to spend walls
+///   clock on, and
+/// * `total_cpu - work + span` models the run's wall time on such a host
+///   (see `bench_smoke`'s `effective_speedup`).
+///
+/// CPU clocks make the numbers honest on oversubscribed hosts: when 4
+/// workers timeslice one core, wall-clock chunk timings would report a 4×
+/// "speedup" that the hardware never delivered, while CPU timings report
+/// the true work distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineStats {
+    /// Total CPU seconds spent inside parallel-region chunks.
+    pub parallel_work_seconds: f64,
+    /// CPU seconds on the critical path (per region: the slowest chunk).
+    pub parallel_span_seconds: f64,
+    /// Number of parallel regions executed.
+    pub parallel_regions: u64,
+}
+
+/// Read the accumulated [`EngineStats`].
+pub fn engine_stats() -> EngineStats {
+    EngineStats {
+        parallel_work_seconds: PARALLEL_WORK_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
+        parallel_span_seconds: PARALLEL_SPAN_NANOS.load(Ordering::Relaxed) as f64 / 1e9,
+        parallel_regions: PARALLEL_REGIONS.load(Ordering::Relaxed),
+    }
+}
+
+/// Zero the engine counters (start of a measured run).
+pub fn reset_engine_stats() {
+    PARALLEL_WORK_NANOS.store(0, Ordering::Relaxed);
+    PARALLEL_SPAN_NANOS.store(0, Ordering::Relaxed);
+    PARALLEL_REGIONS.store(0, Ordering::Relaxed);
 }
 
 /// Error type of [`ThreadPoolBuilder::build_global`] (never produced by the
@@ -308,13 +421,15 @@ where
         }
         let transform = &transform;
         let worker = &worker;
-        std::thread::scope(|s| {
+        let (results, chunk_cpu_nanos): (Vec<R>, Vec<u64>) = std::thread::scope(|s| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
                     s.spawn(move || {
                         IN_POOL_WORKER.with(|flag| flag.set(true));
-                        worker(chunk, transform)
+                        let cpu_start = thread_cpu_nanos();
+                        let out = worker(chunk, transform);
+                        (out, thread_cpu_nanos().saturating_sub(cpu_start))
                     })
                 })
                 .collect();
@@ -324,8 +439,15 @@ where
                     Ok(r) => r,
                     Err(payload) => std::panic::resume_unwind(payload),
                 })
-                .collect()
-        })
+                .unzip()
+        });
+        PARALLEL_WORK_NANOS.fetch_add(chunk_cpu_nanos.iter().sum::<u64>(), Ordering::Relaxed);
+        PARALLEL_SPAN_NANOS.fetch_add(
+            chunk_cpu_nanos.iter().copied().max().unwrap_or(0),
+            Ordering::Relaxed,
+        );
+        PARALLEL_REGIONS.fetch_add(1, Ordering::Relaxed);
+        results
     }
 
     /// Evaluate the chain over every chunk, returning per-chunk output
