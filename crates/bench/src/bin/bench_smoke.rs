@@ -7,8 +7,8 @@
 //! (`TeamSeasonMedium`, ≥ 10k×10k) — each once with 1 worker thread and once
 //! with `AUTOFJ_BENCH_THREADS` (default 4), verifies that each task's runs
 //! produce a byte-identical `JoinResult`, and writes a multi-task report to
-//! `target/experiments/BENCH_pr6.json` (plus a copy at `AUTOFJ_BENCH_OUT`
-//! when set), which CI uploads as a workflow artifact.
+//! `target/experiments/BENCH.json` (plus a copy at `AUTOFJ_BENCH_OUT` when
+//! set), which CI uploads as a workflow artifact.
 //!
 //! Every run records a `phases` breakdown (wall-clock per pipeline phase,
 //! from `autofj_core::timing`) and the execution engine's CPU-clock
@@ -20,122 +20,39 @@
 //!
 //! `AUTOFJ_SCALE` selects the task set: `small` or `medium` run just that
 //! task (the CI matrix runs one leg per scale); anything else — including
-//! unset — runs both, which is how the committed `BENCH_pr6.json` baseline
+//! unset — runs both, which is how the committed `BENCH_pr*.json` baseline
 //! at the repository root is produced.
 //!
-//! When `AUTOFJ_BENCH_BASELINE` points at a committed report, the run doubles
-//! as the **bench gate**: every freshly measured task is matched against the
-//! baseline by name and its quality fields (`joined`, `estimated_precision`,
-//! `actual_precision`, `actual_recall`, `identical_results`) must be
-//! identical — timings stay informational so wall-clock noise can never fail
-//! CI, but a PR that silently changes *what* the pipeline computes does.
+//! The run doubles as the **bench gate**: the baseline is
+//! `AUTOFJ_BENCH_BASELINE` when set (`none` disables the gate), otherwise
+//! the newest committed `BENCH_pr<N>.json` in the working directory — so a
+//! PR that commits a new trajectory entry is gated against it without
+//! touching the workflow.  Every freshly measured task is matched against
+//! the baseline by name and its quality fields (`joined`,
+//! `estimated_precision`, `actual_precision`, `actual_recall`,
+//! `identical_results`) must be identical — timings stay informational so
+//! wall-clock noise can never fail CI, but a PR that silently changes
+//! *what* the pipeline computes does.
 //!
 //! ```bash
-//! AUTOFJ_BENCH_BASELINE=BENCH_pr6.json \
-//!   cargo run --release -p autofj-bench --bin bench_smoke
+//! cargo run --release -p autofj-bench --bin bench_smoke
 //! ```
 //!
 //! Exits non-zero if any task's results differ across thread counts, any
 //! quality field drifts from the baseline, or the medium task's
-//! `parallel_effective` falls below [`MIN_PARALLEL_EFFECTIVE`].
+//! `parallel_effective` falls below
+//! [`autofj_bench::smoke::MIN_PARALLEL_EFFECTIVE`].
 
 use autofj_bench::runner::{autofj_options, run_autofj};
-use autofj_bench::{write_json, Reporter};
-use autofj_core::timing::{self, PhaseTiming};
+use autofj_bench::smoke::{
+    diff_against_baseline, effective_speedup, resolve_baseline, wall_ratio, BenchRun,
+    BenchSmokeReport, TaskBench, MIN_PARALLEL_EFFECTIVE,
+};
+use autofj_bench::{peak_rss_bytes, write_json, Reporter};
+use autofj_core::timing;
 use autofj_core::JoinResult;
 use autofj_datagen::{benchmark_specs, medium_smoke_spec, BenchmarkScale, SingleColumnTask};
 use autofj_text::JoinFunctionSpace;
-use serde::{Deserialize, Serialize};
-
-/// Minimum modeled parallel speedup ([`effective_speedup`]) the medium task
-/// must reach at the default 4 worker threads.  This is the PR 6 bench gate;
-/// PR 5 only required the wall-clock ratio to exceed 1, which a core-starved
-/// host satisfies vacuously.
-const MIN_PARALLEL_EFFECTIVE: f64 = 2.5;
-
-/// One timed pipeline execution at a fixed thread count.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct BenchRun {
-    threads: usize,
-    seconds: f64,
-    /// Process CPU seconds consumed by the run (all threads).
-    cpu_seconds: f64,
-    /// Σ over parallel regions of every worker's CPU time inside the region.
-    parallel_work_seconds: f64,
-    /// Σ over parallel regions of the slowest worker's CPU time — the
-    /// critical path a fully-provisioned host could not beat.
-    parallel_span_seconds: f64,
-    joined: usize,
-    estimated_precision: f64,
-    actual_precision: f64,
-    actual_recall: f64,
-    /// Wall-clock per pipeline phase (prepare, block, negative_rules,
-    /// precompute, greedy_round/score, greedy_round/argmax,
-    /// conflict_resolve, assemble).
-    phases: Vec<PhaseTiming>,
-}
-
-/// Measurements of one task across thread counts.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct TaskBench {
-    task: String,
-    scale: String,
-    size: (usize, usize),
-    space: String,
-    runs: Vec<BenchRun>,
-    /// Wall-clock ratio of the 1-thread run over the multi-thread run.  On a
-    /// host with fewer cores than workers this hovers near 1 no matter how
-    /// parallel the pipeline is; `parallel_effective` is the field that
-    /// actually measures parallelism.
-    speedup: f64,
-    /// Modeled speedup of the multi-thread run on a host with one core per
-    /// worker, from CPU clocks: serial CPU time stays, every parallel region
-    /// contracts to its critical path.  See [`effective_speedup`].
-    parallel_effective: f64,
-    /// Whether every run of this task produced a byte-identical serialized
-    /// `JoinResult`.
-    identical_results: bool,
-}
-
-/// Wall-clock ratio `base / test`, robust to near-zero timings: two ~0 s
-/// legs compare equal (1.0) instead of dividing zero by zero, and a zero
-/// denominator can never produce inf/NaN (the small 143×80 task finishes in
-/// tens of milliseconds, where both hazards are real).
-fn wall_ratio(base: f64, test: f64) -> f64 {
-    const FLOOR: f64 = 1e-9;
-    if base <= FLOOR && test <= FLOOR {
-        return 1.0;
-    }
-    base.max(FLOOR) / test.max(FLOOR)
-}
-
-/// Speedup a host with one core per worker would see for a run that spent
-/// `total` process-CPU seconds, of which `work` inside parallel regions with
-/// critical path `span`: serial time stays, each region contracts from its
-/// summed work to its slowest worker.  Degenerate inputs (no CPU measured,
-/// no parallel regions, clock skew making `span > work`) all degrade to a
-/// finite, NaN-free ratio ≥ 1.
-fn effective_speedup(total: f64, work: f64, span: f64) -> f64 {
-    if total <= 0.0 || work <= 0.0 {
-        return 1.0;
-    }
-    let work = work.min(total);
-    let serial = total - work;
-    let modeled = serial + span.clamp(0.0, work);
-    if modeled <= 0.0 {
-        return 1.0;
-    }
-    (total / modeled).max(1.0)
-}
-
-/// The persisted smoke report — one entry of the benchmark trajectory.
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct BenchSmokeReport {
-    host_parallelism: usize,
-    tasks: Vec<TaskBench>,
-    /// Conjunction of the per-task determinism checks.
-    identical_results: bool,
-}
 
 /// Measure one task at 1 and `multi_threads` workers.
 fn bench_task(
@@ -202,64 +119,6 @@ fn bench_task(
     }
 }
 
-/// Relative tolerance for the floating-point quality fields of the gate.
-///
-/// Results are bit-deterministic *within* one host, but the committed
-/// baseline may have been produced under a different libm whose `ln`/`sqrt`
-/// differ by an ulp; real quality drift moves these fields by ≥ 1e-3, so a
-/// tight relative band keeps the gate immune to last-bit noise without
-/// letting any genuine change through.  Integer fields stay exact.
-const GATE_REL_EPS: f64 = 1e-9;
-
-fn float_quality_matches(got: f64, want: f64) -> bool {
-    (got - want).abs() <= GATE_REL_EPS * got.abs().max(want.abs()).max(1.0)
-}
-
-/// Compare the quality fields of a fresh task measurement against the
-/// committed baseline entry, collecting human-readable mismatch lines.
-fn diff_against_baseline(fresh: &TaskBench, baseline: &TaskBench, errors: &mut Vec<String>) {
-    let t = &fresh.task;
-    if fresh.identical_results != baseline.identical_results {
-        errors.push(format!(
-            "{t}: identical_results {} != baseline {}",
-            fresh.identical_results, baseline.identical_results
-        ));
-    }
-    for run in &fresh.runs {
-        let Some(base) = baseline.runs.iter().find(|b| b.threads == run.threads) else {
-            errors.push(format!("{t}: baseline has no {}-thread run", run.threads));
-            continue;
-        };
-        if run.joined != base.joined {
-            errors.push(format!(
-                "{t} ({} threads): joined {} != baseline {}",
-                run.threads, run.joined, base.joined
-            ));
-        }
-        let fields = [
-            (
-                "estimated_precision",
-                run.estimated_precision,
-                base.estimated_precision,
-            ),
-            (
-                "actual_precision",
-                run.actual_precision,
-                base.actual_precision,
-            ),
-            ("actual_recall", run.actual_recall, base.actual_recall),
-        ];
-        for (name, got, want) in fields {
-            if !float_quality_matches(got, want) {
-                errors.push(format!(
-                    "{t} ({} threads): {name} {got} != baseline {want}",
-                    run.threads
-                ));
-            }
-        }
-    }
-}
-
 fn main() {
     // Which smoke tasks to run: the CI matrix passes `small` / `medium` to
     // run a single leg; the default (committed-baseline) invocation runs
@@ -303,8 +162,10 @@ fn main() {
 
     let report = BenchSmokeReport {
         host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        peak_rss_bytes: peak_rss_bytes(),
         identical_results: tasks.iter().all(|t| t.identical_results),
         tasks,
+        serve: None,
     };
 
     let mut table = Reporter::new(
@@ -345,8 +206,11 @@ fn main() {
             }
         }
     }
+    if let Some(rss) = report.peak_rss_bytes {
+        println!("peak RSS: {:.1} MiB", rss as f64 / (1024.0 * 1024.0));
+    }
 
-    let path = write_json("BENCH_pr6", &report);
+    let path = write_json("BENCH", &report);
     println!("wrote {}", path.display());
     if let Ok(extra) = std::env::var("AUTOFJ_BENCH_OUT") {
         if let Err(e) = std::fs::copy(&path, &extra) {
@@ -377,7 +241,8 @@ fn main() {
     }
 
     // Bench gate: quality fields must match the committed baseline exactly.
-    if let Ok(baseline_path) = std::env::var("AUTOFJ_BENCH_BASELINE") {
+    if let Some(baseline_path) = resolve_baseline() {
+        let baseline_path = baseline_path.display().to_string();
         let baseline: BenchSmokeReport = match std::fs::read_to_string(&baseline_path) {
             Ok(text) => match serde_json::from_str(&text) {
                 Ok(b) => b,
@@ -418,56 +283,11 @@ fn main() {
             );
             failed = true;
         }
+    } else {
+        println!("bench-gate: no baseline (AUTOFJ_BENCH_BASELINE=none or no BENCH_pr*.json)");
     }
 
     if failed {
         std::process::exit(1);
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::{effective_speedup, wall_ratio};
-
-    #[test]
-    fn wall_ratio_never_produces_inf_or_nan() {
-        for (base, test) in [
-            (0.0, 0.0),
-            (0.0, 1.0),
-            (1.0, 0.0),
-            (1e-12, 1e-12),
-            (0.04, 0.03),
-            (150.0, 60.0),
-        ] {
-            let r = wall_ratio(base, test);
-            assert!(r.is_finite(), "wall_ratio({base}, {test}) = {r}");
-            assert!(r >= 0.0);
-        }
-        assert_eq!(wall_ratio(0.0, 0.0), 1.0, "two idle legs compare equal");
-        assert!((wall_ratio(2.0, 1.0) - 2.0).abs() < 1e-12);
-    }
-
-    #[test]
-    fn effective_speedup_is_finite_and_at_least_one() {
-        for (total, work, span) in [
-            (0.0, 0.0, 0.0),
-            (1.0, 0.0, 0.0),
-            (1.0, 2.0, 0.5),  // clock skew: work > total
-            (1.0, 0.8, 0.9),  // clock skew: span > work
-            (10.0, 8.0, 2.0), // the healthy case
-            (1.0, 1.0, 0.0),  // degenerate zero span
-        ] {
-            let s = effective_speedup(total, work, span);
-            assert!(
-                s.is_finite(),
-                "effective_speedup({total},{work},{span})={s}"
-            );
-            assert!(s >= 1.0);
-        }
-        // 10 s CPU, 8 s inside regions with a 2 s critical path: a
-        // fully-provisioned host runs it in 2 + 2 = 4 s → 2.5x.
-        assert!((effective_speedup(10.0, 8.0, 2.0) - 2.5).abs() < 1e-12);
-        // Fully serial run models no speedup at all.
-        assert_eq!(effective_speedup(5.0, 0.0, 0.0), 1.0);
     }
 }

@@ -32,6 +32,7 @@
 
 pub mod report;
 pub mod runner;
+pub mod smoke;
 
-pub use report::{write_json, Reporter};
+pub use report::{peak_rss_bytes, write_json, Reporter};
 pub use runner::{autofj_options, env_scale, env_space, env_task_limit, MethodScores, TaskOutcome};

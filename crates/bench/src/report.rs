@@ -89,6 +89,18 @@ pub fn write_json<T: Serialize>(name: &str, value: &T) -> PathBuf {
     path
 }
 
+/// Peak resident set size (`VmHWM`) of the current process, in bytes.
+///
+/// Read from `/proc/self/status`, so `None` on hosts without procfs; the
+/// kernel reports the high-water mark in kB.  Recorded in the smoke reports
+/// so the trajectory tracks memory alongside wall-clock.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -110,6 +122,16 @@ mod tests {
     fn mismatched_row_width_panics() {
         let mut r = Reporter::new("Demo", &["a", "b"]);
         r.add_row(vec!["only one".into()]);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn peak_rss_is_reported_and_plausible() {
+        let rss = peak_rss_bytes().expect("procfs reports VmHWM on Linux");
+        // A test process has touched at least a few hundred kB and (far)
+        // less than a TB.
+        assert!(rss > 100 * 1024, "{rss}");
+        assert!(rss < 1 << 40, "{rss}");
     }
 
     #[test]

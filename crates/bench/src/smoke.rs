@@ -1,0 +1,392 @@
+//! Shared report schema and gate logic of the CI smoke benchmarks.
+//!
+//! Both smoke binaries — `bench_smoke` (the batch pipeline at 1 and N
+//! threads) and `serve_bench` (snapshot save/load plus the online query
+//! server) — emit one [`BenchSmokeReport`].  The committed `BENCH_pr*.json`
+//! baseline at the repository root is the merged document; CI re-measures,
+//! then [`diff_against_baseline`] / [`diff_serve_against_baseline`] compare
+//! the *quality* fields (joined counts, precision/recall, determinism flags)
+//! and fail on any drift.  Timings and throughput stay informational so
+//! wall-clock noise can never fail CI.
+
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// Minimum modeled parallel speedup ([`effective_speedup`]) the medium task
+/// must reach at the default 4 worker threads.  This is the PR 6 bench gate;
+/// PR 5 only required the wall-clock ratio to exceed 1, which a core-starved
+/// host satisfies vacuously.
+pub const MIN_PARALLEL_EFFECTIVE: f64 = 2.5;
+
+/// One timed pipeline execution at a fixed thread count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchRun {
+    /// Worker threads of the execution engine for this leg.
+    pub threads: usize,
+    /// Wall-clock seconds of the run.
+    pub seconds: f64,
+    /// Process CPU seconds consumed by the run (all threads).
+    pub cpu_seconds: f64,
+    /// Σ over parallel regions of every worker's CPU time inside the region.
+    pub parallel_work_seconds: f64,
+    /// Σ over parallel regions of the slowest worker's CPU time — the
+    /// critical path a fully-provisioned host could not beat.
+    pub parallel_span_seconds: f64,
+    /// Records the program joined.
+    pub joined: usize,
+    /// The program's estimated precision (Eq. 8/9).
+    pub estimated_precision: f64,
+    /// Precision against the generated ground truth.
+    pub actual_precision: f64,
+    /// Recall against the generated ground truth.
+    pub actual_recall: f64,
+    /// Wall-clock per pipeline phase (prepare, block, negative_rules,
+    /// precompute, greedy_round/score, greedy_round/argmax,
+    /// conflict_resolve, assemble).
+    pub phases: Vec<autofj_core::timing::PhaseTiming>,
+}
+
+/// Measurements of one task across thread counts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TaskBench {
+    /// Datagen task name.
+    pub task: String,
+    /// Smoke scale the task belongs to (`small` / `medium`).
+    pub scale: String,
+    /// `(left, right)` record counts.
+    pub size: (usize, usize),
+    /// Configuration-space label.
+    pub space: String,
+    /// The timed legs, single-thread first.
+    pub runs: Vec<BenchRun>,
+    /// Wall-clock ratio of the 1-thread run over the multi-thread run.  On a
+    /// host with fewer cores than workers this hovers near 1 no matter how
+    /// parallel the pipeline is; `parallel_effective` is the field that
+    /// actually measures parallelism.
+    pub speedup: f64,
+    /// Modeled speedup of the multi-thread run on a host with one core per
+    /// worker, from CPU clocks: serial CPU time stays, every parallel region
+    /// contracts to its critical path.  See [`effective_speedup`].
+    pub parallel_effective: f64,
+    /// Whether every run of this task produced a byte-identical serialized
+    /// `JoinResult`.
+    pub identical_results: bool,
+}
+
+/// One timed client leg against the online join server.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeRun {
+    /// Concurrent client connections (and server accept threads).
+    pub client_threads: usize,
+    /// Total join requests answered across all clients.
+    pub requests: usize,
+    /// Wall-clock seconds of the leg.
+    pub seconds: f64,
+    /// Requests per second across all clients.
+    pub throughput_rps: f64,
+    /// Median per-request latency in milliseconds.
+    pub p50_ms: f64,
+    /// 99th-percentile per-request latency in milliseconds.
+    pub p99_ms: f64,
+}
+
+/// Snapshot + online-serving measurements of one task.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ServeBench {
+    /// Datagen task name.
+    pub task: String,
+    /// `(left, right)` record counts.
+    pub size: (usize, usize),
+    /// Snapshot file size on disk.
+    pub snapshot_bytes: u64,
+    /// Wall-clock seconds to serialize the learned state.
+    pub save_seconds: f64,
+    /// Wall-clock seconds to open + validate + decode the snapshot.
+    pub load_seconds: f64,
+    /// Records the served program joined (quality-gated).
+    pub joined: usize,
+    /// Whether the loaded server's answers are byte-identical to the batch
+    /// pipeline's `JoinResult` (quality-gated).
+    pub identical_results: bool,
+    /// The timed client legs.
+    pub runs: Vec<ServeRun>,
+}
+
+/// The persisted smoke report — one entry of the benchmark trajectory.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BenchSmokeReport {
+    /// `available_parallelism` of the measuring host.
+    pub host_parallelism: usize,
+    /// Peak resident set size (`VmHWM`) of the benchmark process, in bytes;
+    /// `None` where `/proc` is unavailable.  Informational.
+    pub peak_rss_bytes: Option<u64>,
+    /// Batch-pipeline measurements, one entry per smoke task.
+    pub tasks: Vec<TaskBench>,
+    /// Snapshot + online-serving measurements (absent in pre-serve reports
+    /// and in legs that only ran the batch smoke).
+    pub serve: Option<ServeBench>,
+    /// Conjunction of the per-task determinism checks.
+    pub identical_results: bool,
+}
+
+/// Wall-clock ratio `base / test`, robust to near-zero timings: two ~0 s
+/// legs compare equal (1.0) instead of dividing zero by zero, and a zero
+/// denominator can never produce inf/NaN (the small 143×80 task finishes in
+/// tens of milliseconds, where both hazards are real).
+pub fn wall_ratio(base: f64, test: f64) -> f64 {
+    const FLOOR: f64 = 1e-9;
+    if base <= FLOOR && test <= FLOOR {
+        return 1.0;
+    }
+    base.max(FLOOR) / test.max(FLOOR)
+}
+
+/// Speedup a host with one core per worker would see for a run that spent
+/// `total` process-CPU seconds, of which `work` inside parallel regions with
+/// critical path `span`: serial time stays, each region contracts from its
+/// summed work to its slowest worker.  Degenerate inputs (no CPU measured,
+/// no parallel regions, clock skew making `span > work`) all degrade to a
+/// finite, NaN-free ratio ≥ 1.
+pub fn effective_speedup(total: f64, work: f64, span: f64) -> f64 {
+    if total <= 0.0 || work <= 0.0 {
+        return 1.0;
+    }
+    let work = work.min(total);
+    let serial = total - work;
+    let modeled = serial + span.clamp(0.0, work);
+    if modeled <= 0.0 {
+        return 1.0;
+    }
+    (total / modeled).max(1.0)
+}
+
+/// Relative tolerance for the floating-point quality fields of the gate.
+///
+/// Results are bit-deterministic *within* one host, but the committed
+/// baseline may have been produced under a different libm whose `ln`/`sqrt`
+/// differ by an ulp; real quality drift moves these fields by ≥ 1e-3, so a
+/// tight relative band keeps the gate immune to last-bit noise without
+/// letting any genuine change through.  Integer fields stay exact.
+pub const GATE_REL_EPS: f64 = 1e-9;
+
+/// Whether two quality floats match within [`GATE_REL_EPS`].
+pub fn float_quality_matches(got: f64, want: f64) -> bool {
+    (got - want).abs() <= GATE_REL_EPS * got.abs().max(want.abs()).max(1.0)
+}
+
+/// Compare the quality fields of a fresh task measurement against the
+/// committed baseline entry, collecting human-readable mismatch lines.
+pub fn diff_against_baseline(fresh: &TaskBench, baseline: &TaskBench, errors: &mut Vec<String>) {
+    let t = &fresh.task;
+    if fresh.identical_results != baseline.identical_results {
+        errors.push(format!(
+            "{t}: identical_results {} != baseline {}",
+            fresh.identical_results, baseline.identical_results
+        ));
+    }
+    for run in &fresh.runs {
+        let Some(base) = baseline.runs.iter().find(|b| b.threads == run.threads) else {
+            errors.push(format!("{t}: baseline has no {}-thread run", run.threads));
+            continue;
+        };
+        if run.joined != base.joined {
+            errors.push(format!(
+                "{t} ({} threads): joined {} != baseline {}",
+                run.threads, run.joined, base.joined
+            ));
+        }
+        let fields = [
+            (
+                "estimated_precision",
+                run.estimated_precision,
+                base.estimated_precision,
+            ),
+            (
+                "actual_precision",
+                run.actual_precision,
+                base.actual_precision,
+            ),
+            ("actual_recall", run.actual_recall, base.actual_recall),
+        ];
+        for (name, got, want) in fields {
+            if !float_quality_matches(got, want) {
+                errors.push(format!(
+                    "{t} ({} threads): {name} {got} != baseline {want}",
+                    run.threads
+                ));
+            }
+        }
+    }
+}
+
+/// Compare the quality fields of a fresh serve measurement against the
+/// committed baseline's `serve` section.  Throughput and latency stay
+/// informational; what the server *answers* must not drift.
+pub fn diff_serve_against_baseline(
+    fresh: &ServeBench,
+    baseline: &ServeBench,
+    errors: &mut Vec<String>,
+) {
+    let t = &fresh.task;
+    if fresh.joined != baseline.joined {
+        errors.push(format!(
+            "serve {t}: joined {} != baseline {}",
+            fresh.joined, baseline.joined
+        ));
+    }
+    if fresh.identical_results != baseline.identical_results {
+        errors.push(format!(
+            "serve {t}: identical_results {} != baseline {}",
+            fresh.identical_results, baseline.identical_results
+        ));
+    }
+    for run in &fresh.runs {
+        if !baseline
+            .runs
+            .iter()
+            .any(|b| b.client_threads == run.client_threads)
+        {
+            errors.push(format!(
+                "serve {t}: baseline has no {}-client leg",
+                run.client_threads
+            ));
+        }
+    }
+}
+
+/// Resolve the bench-gate baseline path.
+///
+/// `AUTOFJ_BENCH_BASELINE` wins when set (empty or `none` disables the gate
+/// explicitly).  Otherwise the newest committed `BENCH_pr<N>.json` in the
+/// current directory is used, so the gate follows the trajectory
+/// automatically when a PR commits a new baseline — the CI workflow no
+/// longer pins (and silently outdates) a specific file name.
+pub fn resolve_baseline() -> Option<PathBuf> {
+    if let Ok(explicit) = std::env::var("AUTOFJ_BENCH_BASELINE") {
+        if explicit.is_empty() || explicit == "none" {
+            return None;
+        }
+        return Some(PathBuf::from(explicit));
+    }
+    let mut best: Option<(u64, PathBuf)> = None;
+    let entries = std::fs::read_dir(".").ok()?;
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(pr) = name
+            .strip_prefix("BENCH_pr")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(b, _)| pr > *b) {
+            best = Some((pr, entry.path()));
+        }
+    }
+    best.map(|(_, path)| path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_ratio_never_produces_inf_or_nan() {
+        for (base, test) in [
+            (0.0, 0.0),
+            (0.0, 1.0),
+            (1.0, 0.0),
+            (1e-12, 1e-12),
+            (0.04, 0.03),
+            (150.0, 60.0),
+        ] {
+            let r = wall_ratio(base, test);
+            assert!(r.is_finite(), "wall_ratio({base}, {test}) = {r}");
+            assert!(r >= 0.0);
+        }
+        assert_eq!(wall_ratio(0.0, 0.0), 1.0, "two idle legs compare equal");
+        assert!((wall_ratio(2.0, 1.0) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effective_speedup_is_finite_and_at_least_one() {
+        for (total, work, span) in [
+            (0.0, 0.0, 0.0),
+            (1.0, 0.0, 0.0),
+            (1.0, 2.0, 0.5),  // clock skew: work > total
+            (1.0, 0.8, 0.9),  // clock skew: span > work
+            (10.0, 8.0, 2.0), // the healthy case
+            (1.0, 1.0, 0.0),  // degenerate zero span
+        ] {
+            let s = effective_speedup(total, work, span);
+            assert!(
+                s.is_finite(),
+                "effective_speedup({total},{work},{span})={s}"
+            );
+            assert!(s >= 1.0);
+        }
+        // 10 s CPU, 8 s inside regions with a 2 s critical path: a
+        // fully-provisioned host runs it in 2 + 2 = 4 s → 2.5x.
+        assert!((effective_speedup(10.0, 8.0, 2.0) - 2.5).abs() < 1e-12);
+        // Fully serial run models no speedup at all.
+        assert_eq!(effective_speedup(5.0, 0.0, 0.0), 1.0);
+    }
+
+    fn serve_bench(joined: usize, identical: bool) -> ServeBench {
+        ServeBench {
+            task: "ShoppingMall".to_string(),
+            size: (143, 80),
+            snapshot_bytes: 1024,
+            save_seconds: 0.01,
+            load_seconds: 0.01,
+            joined,
+            identical_results: identical,
+            runs: vec![ServeRun {
+                client_threads: 1,
+                requests: 80,
+                seconds: 0.1,
+                throughput_rps: 800.0,
+                p50_ms: 1.0,
+                p99_ms: 2.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn serve_gate_flags_quality_drift_but_not_timing_drift() {
+        let base = serve_bench(70, true);
+        let mut errors = Vec::new();
+        let mut fresh = serve_bench(70, true);
+        fresh.runs[0].throughput_rps = 5.0; // timing noise: not a failure
+        fresh.load_seconds = 9.9;
+        diff_serve_against_baseline(&fresh, &base, &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+
+        diff_serve_against_baseline(&serve_bench(69, true), &base, &mut errors);
+        diff_serve_against_baseline(&serve_bench(70, false), &base, &mut errors);
+        assert_eq!(errors.len(), 2, "{errors:?}");
+    }
+
+    #[test]
+    fn reports_without_serve_section_still_parse() {
+        // Committed baselines predate the serve/peak-RSS fields; the gate
+        // must keep reading them.
+        let old = r#"{"host_parallelism": 4, "tasks": [], "identical_results": true}"#;
+        let report: BenchSmokeReport = serde_json::from_str(old).unwrap();
+        assert!(report.serve.is_none());
+        assert!(report.peak_rss_bytes.is_none());
+        assert!(report.identical_results);
+    }
+
+    #[test]
+    fn baseline_resolution_prefers_env_and_newest_pr() {
+        // The env override is tested here; the newest-PR scan depends on the
+        // working directory, so it is covered by the repo-level CI run.
+        std::env::set_var("AUTOFJ_BENCH_BASELINE", "custom.json");
+        assert_eq!(resolve_baseline(), Some(PathBuf::from("custom.json")));
+        std::env::set_var("AUTOFJ_BENCH_BASELINE", "none");
+        assert_eq!(resolve_baseline(), None);
+        std::env::remove_var("AUTOFJ_BENCH_BASELINE");
+    }
+}

@@ -64,7 +64,13 @@ impl Default for Blocker {
 /// Postings are stored CSR-style: `postings[offsets[g]..offsets[g + 1]]`
 /// holds the left-record indices containing gram `g`, in ascending order
 /// (records are scanned in order at build time).
-struct GramIndex {
+///
+/// The CSR arrays are exposed (`from_parts` / part accessors) so the index
+/// can be serialized into a snapshot and rebuilt without re-tokenizing the
+/// reference table; [`Self::top_k`] is the public probe entry point the
+/// online query path shares with batch blocking.
+#[derive(Debug, Clone)]
+pub struct GramIndex {
     offsets: Vec<u32>,
     postings: Vec<u32>,
     /// idf weight per gram id, derived from the *reference-side* document
@@ -117,7 +123,7 @@ impl Ord for HeapEntry {
 /// tracking, the bounded top-k heap and its drain buffer.  One instance
 /// serves every probe a worker processes; nothing inside is reallocated
 /// between probes once warmed up.
-struct ProbeScratch {
+pub struct ProbeScratch {
     scores: Vec<f64>,
     /// `epoch[l] == cur` marks `scores[l]` as live for the current probe;
     /// resetting is a single counter bump instead of a table walk.
@@ -129,7 +135,8 @@ struct ProbeScratch {
 }
 
 impl ProbeScratch {
-    fn new(num_left: usize) -> Self {
+    /// Scratch sized for an index over `num_left` reference records.
+    pub fn new(num_left: usize) -> Self {
         Self {
             scores: vec![0.0; num_left],
             epoch: vec![0; num_left],
@@ -158,7 +165,7 @@ impl GramIndex {
     /// reference records.  `num_grams` is the size of the shared vocabulary;
     /// grams that never occur in a reference record get an empty postings
     /// range (probe grams hitting them contribute nothing).
-    fn from_id_sets<S: AsRef<[u32]>>(left_sets: &[S], num_grams: usize) -> Self {
+    pub fn from_id_sets<S: AsRef<[u32]>>(left_sets: &[S], num_grams: usize) -> Self {
         let mut counts = vec![0u32; num_grams];
         for set in left_sets {
             for &g in set.as_ref() {
@@ -194,6 +201,70 @@ impl GramIndex {
         }
     }
 
+    /// Rebuild an index from its serialized CSR parts (see the part
+    /// accessors).  The result behaves exactly like the index the parts came
+    /// from.
+    ///
+    /// # Panics
+    /// Panics if the parts are mutually inconsistent (offset table shape,
+    /// posting count, or a posting out of `num_left` range).
+    pub fn from_parts(
+        offsets: Vec<u32>,
+        postings: Vec<u32>,
+        idf: Vec<f64>,
+        num_left: usize,
+    ) -> Self {
+        assert!(
+            !offsets.is_empty() && offsets.len() == idf.len() + 1,
+            "offset table must have one entry per gram plus a terminator"
+        );
+        assert_eq!(offsets[0], 0, "offset table must start at 0");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offset table must be non-decreasing"
+        );
+        assert_eq!(
+            *offsets.last().unwrap() as usize,
+            postings.len(),
+            "offset terminator must equal the posting count"
+        );
+        assert!(
+            postings.iter().all(|&li| (li as usize) < num_left.max(1)),
+            "postings must index into the reference table"
+        );
+        Self {
+            offsets,
+            postings,
+            idf,
+            num_left,
+        }
+    }
+
+    /// CSR offsets: `postings_of(g) = postings[offsets[g]..offsets[g + 1]]`.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The flat postings arena.
+    pub fn postings(&self) -> &[u32] {
+        &self.postings
+    }
+
+    /// Reference-side idf weight per gram id.
+    pub fn idf(&self) -> &[f64] {
+        &self.idf
+    }
+
+    /// Number of reference records the index was built over.
+    pub fn num_left(&self) -> usize {
+        self.num_left
+    }
+
+    /// Number of grams the index knows about.
+    pub fn num_grams(&self) -> usize {
+        self.idf.len()
+    }
+
     #[inline]
     fn postings_of(&self, gram: u32) -> &[u32] {
         let g = gram as usize;
@@ -205,7 +276,13 @@ impl GramIndex {
     /// probes).  `probe` must be sorted and deduplicated — blocking
     /// similarity is over gram *sets*, and the ascending-id iteration fixes
     /// the floating-point summation order independent of thread count.
-    fn top_k(
+    ///
+    /// Probe gram ids at or beyond [`Self::num_grams`] are skipped: a gram
+    /// the index has never seen contributes nothing, exactly like a known
+    /// gram with an empty postings range.  This keeps probes over a
+    /// vocabulary that grew after the index was built (online appends, query
+    /// overflow ids) byte-identical to probing with the gram dropped.
+    pub fn top_k(
         &self,
         probe: &[u32],
         k: usize,
@@ -219,6 +296,9 @@ impl GramIndex {
         scratch.begin();
         let cur = scratch.cur;
         for &g in probe {
+            if g as usize >= self.idf.len() {
+                continue;
+            }
             let w = self.idf[g as usize];
             for &li in self.postings_of(g) {
                 let l = li as usize;
@@ -563,6 +643,49 @@ mod tests {
         let b = Blocker::with_factor(1.0); // k = 2
         let out = b.block(&left, &["aaa bbb"]);
         assert_eq!(out.left_candidates_of_right[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn index_round_trips_through_parts() {
+        let sets: Vec<Vec<u32>> = vec![vec![0, 1, 2], vec![1, 3], vec![0, 3, 4]];
+        let index = GramIndex::from_id_sets(&sets, 5);
+        let rebuilt = GramIndex::from_parts(
+            index.offsets().to_vec(),
+            index.postings().to_vec(),
+            index.idf().to_vec(),
+            index.num_left(),
+        );
+        let mut a = ProbeScratch::new(index.num_left());
+        let mut b = ProbeScratch::new(rebuilt.num_left());
+        for probe in &sets {
+            assert_eq!(
+                index.top_k(probe, 2, None, &mut a),
+                rebuilt.top_k(probe, 2, None, &mut b)
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_range_probe_grams_score_like_empty_postings() {
+        let sets: Vec<Vec<u32>> = vec![vec![0, 1], vec![1, 2]];
+        // Index built over a 3-gram vocabulary; the same index built over a
+        // larger vocabulary gives the extra grams empty postings.
+        let narrow = GramIndex::from_id_sets(&sets, 3);
+        let wide = GramIndex::from_id_sets(&sets, 6);
+        let mut a = ProbeScratch::new(narrow.num_left());
+        let mut b = ProbeScratch::new(wide.num_left());
+        // Probe contains grams (4, 5) unknown to the narrow index.
+        let probe = vec![0u32, 1, 4, 5];
+        assert_eq!(
+            narrow.top_k(&probe, 2, None, &mut a),
+            wide.top_k(&probe, 2, None, &mut b)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "offset terminator")]
+    fn inconsistent_parts_are_rejected() {
+        let _ = GramIndex::from_parts(vec![0, 2], vec![0], vec![1.0], 1);
     }
 
     #[test]

@@ -41,6 +41,25 @@ use rayon::prelude::*;
 /// [`FunctionStats::precision_at_rank`].
 const BOUNDARY_EPS: f64 = 1e-6;
 
+/// The effective cutoff below which a sorted L–L reference distance counts as
+/// inside a ball of the given `radius`: `radius - ε`, floored at `ε/2` so a
+/// non-positive radius still counts exact-zero neighbours only.  Shared by
+/// [`FunctionStats::from_raw`] and [`FunctionStats::precision_at_rank`], and
+/// public so the snapshot store can derive bit-identical ball-count tables
+/// when serving the learned program online.
+pub fn ball_cutoff(radius: f64) -> f64 {
+    (radius - BOUNDARY_EPS).max(0.5 * BOUNDARY_EPS)
+}
+
+/// Count the sorted reference distances strictly below [`ball_cutoff`] of
+/// `radius` — the number of same-table neighbours inside the ball, computed
+/// exactly like the batch pipeline computes it (f64 comparison over sorted
+/// f32 distances).
+pub fn ball_count_sorted(sorted_distances: &[f32], radius: f64) -> usize {
+    let cutoff = ball_cutoff(radius);
+    sorted_distances.partition_point(|&x| (x as f64) < cutoff)
+}
+
 /// Pre-computed statistics for one join function.
 #[derive(Debug, Clone)]
 pub struct FunctionStats {
@@ -175,10 +194,9 @@ impl FunctionStats {
         let ball_counts: Vec<Vec<u32>> = thresholds
             .par_iter()
             .map(|&theta| {
-                let cutoff = (2.0 * theta as f64 - BOUNDARY_EPS).max(0.5 * BOUNDARY_EPS);
                 ll_sorted
                     .iter()
-                    .map(|n| n.partition_point(|&x| (x as f64) < cutoff) as u32)
+                    .map(|n| ball_count_sorted(n, 2.0 * theta as f64) as u32)
                     .collect()
             })
             .collect();
@@ -221,9 +239,7 @@ impl FunctionStats {
             BallMode::ConfigTheta => 2.0 * theta as f64,
             BallMode::PairDistance => 2.0 * d as f64,
         };
-        let cutoff = (radius - BOUNDARY_EPS).max(0.5 * BOUNDARY_EPS);
-        let neighbours_in_ball =
-            self.ll_sorted[l as usize].partition_point(|&x| (x as f64) < cutoff);
+        let neighbours_in_ball = ball_count_sorted(&self.ll_sorted[l as usize], radius);
         1.0 / (1.0 + neighbours_in_ball as f64)
     }
 

@@ -36,9 +36,10 @@ pub mod single;
 pub mod table;
 pub mod timing;
 
-pub use negative_rules::{NegativeRule, NegativeRuleSet};
+pub use negative_rules::{InternedRuleSet, NegativeRule, NegativeRuleSet};
 pub use options::{AutoFjOptions, BallMode};
 pub use program::{Config, JoinProgram, JoinResult, JoinedPair};
+pub use single::{join_single_column, join_single_column_with_artifacts, PipelineArtifacts};
 pub use table::{Column, Table};
 
 use autofj_text::JoinFunctionSpace;

@@ -227,6 +227,25 @@ impl InternedRuleSet {
         self.rules.is_empty()
     }
 
+    /// The rules as a sorted pair list — the canonical serialized form, and
+    /// the inverse of [`Self::from_pairs`].
+    pub fn to_sorted_pairs(&self) -> Vec<(u32, u32)> {
+        let mut pairs: Vec<(u32, u32)> = self.rules.iter().copied().collect();
+        pairs.sort_unstable();
+        pairs
+    }
+
+    /// Rebuild a rule set from serialized pairs (order-insensitive; each pair
+    /// is normalized to `(min, max)` like [`Self::learn`] stores them).
+    pub fn from_pairs<I: IntoIterator<Item = (u32, u32)>>(pairs: I) -> Self {
+        Self {
+            rules: pairs
+                .into_iter()
+                .map(|(a, b)| (a.min(b), a.max(b)))
+                .collect(),
+        }
+    }
+
     /// Whether a candidate pair of word-id sets must be discarded (the two
     /// sets differ by exactly one id on each side and that pair is a rule).
     pub fn forbids(&self, left: &[u32], right: &[u32]) -> bool {

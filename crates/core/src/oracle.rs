@@ -58,6 +58,12 @@ impl SingleColumnOracle {
     pub fn column(&self) -> &PreparedColumn {
         &self.column
     }
+
+    /// Consume the oracle, handing the prepared column to the caller — used
+    /// by the snapshot store to freeze the column without re-preparing it.
+    pub fn into_column(self) -> PreparedColumn {
+        self.column
+    }
 }
 
 impl DistanceOracle for SingleColumnOracle {

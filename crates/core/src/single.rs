@@ -10,9 +10,28 @@ use crate::options::AutoFjOptions;
 use crate::oracle::{DistanceOracle, SingleColumnOracle};
 use crate::program::{Config, JoinProgram, JoinResult, JoinedPair};
 use crate::timing::{self, Phase};
+use autofj_block::BlockingOutput;
 use autofj_text::prepared::scheme_index;
 use autofj_text::{JoinFunctionSpace, Preprocessing, Tokenization};
 use rayon::prelude::*;
+
+/// Everything the single-column pipeline computed on the way to a
+/// [`JoinResult`] that an online serving layer needs to replay the join per
+/// record: the prepared-column oracle, the blocking candidate sets, the
+/// learned negative rules (when enabled), and the raw greedy outcome.
+///
+/// Returned by [`join_single_column_with_artifacts`]; `None` when the
+/// pipeline took the empty-input early exit and never ran.
+pub struct PipelineArtifacts {
+    /// The oracle holding the prepared column over `left ++ right`.
+    pub oracle: SingleColumnOracle,
+    /// Blocking output (L–R and L–L candidate sets, candidates per record).
+    pub blocking: BlockingOutput,
+    /// Learned interned negative rules; `None` when disabled by options.
+    pub rules: Option<InternedRuleSet>,
+    /// The greedy search outcome the result was assembled from.
+    pub outcome: GreedyOutcome,
+}
 
 /// Run single-column Auto-FuzzyJoin over raw string columns.
 ///
@@ -26,13 +45,25 @@ pub fn join_single_column(
     space: &JoinFunctionSpace,
     options: &AutoFjOptions,
 ) -> JoinResult {
+    join_single_column_with_artifacts(left, right, space, options).0
+}
+
+/// Like [`join_single_column`], but also hands back the intermediate
+/// [`PipelineArtifacts`] so callers (the snapshot store) can freeze the
+/// learned state instead of recomputing it.
+pub fn join_single_column_with_artifacts(
+    left: &[String],
+    right: &[String],
+    space: &JoinFunctionSpace,
+    options: &AutoFjOptions,
+) -> (JoinResult, Option<PipelineArtifacts>) {
     if let Err(msg) = options.validate() {
         panic!("invalid AutoFjOptions: {msg}");
     }
     let columns = vec!["value".to_string()];
     let weights = vec![1.0];
     if left.is_empty() || right.is_empty() || space.is_empty() {
-        return JoinResult::empty(right.len(), columns, weights);
+        return (JoinResult::empty(right.len(), columns, weights), None);
     }
 
     // Prepare all records once (pre-processing, interned token sets,
@@ -54,7 +85,7 @@ pub fn join_single_column(
     // pairs.  The rule word sets of Algorithm 2 (lower-case + stem + remove
     // punctuation, split on whitespace) are exactly the interned token sets
     // of the (L+S+RP, SP) scheme, already cached per record.
-    let lr_candidates = if options.use_negative_rules {
+    let (rules, lr_candidates) = if options.use_negative_rules {
         let _t = timing::scoped(Phase::NegativeRules);
         let si = scheme_index(Preprocessing::LowerStemRemovePunct, Tokenization::Space);
         let word_sets: Vec<&[u32]> = (0..col.len())
@@ -62,14 +93,15 @@ pub fn join_single_column(
             .collect();
         let rules =
             InternedRuleSet::learn(&word_sets[..left.len()], &blocking.left_candidates_of_left);
-        filter_candidates_interned(
+        let filtered = filter_candidates_interned(
             &word_sets,
             left.len(),
             &blocking.left_candidates_of_right,
             &rules,
-        )
+        );
+        (Some(rules), filtered)
     } else {
-        blocking.left_candidates_of_right.clone()
+        (None, blocking.left_candidates_of_right.clone())
     };
 
     // Lines 3–4: distances + precision pre-computation.
@@ -86,8 +118,17 @@ pub fn join_single_column(
     // Lines 5–14: greedy union-of-configurations search (the greedy module
     // times its own score / argmax / conflict-resolve sub-phases).
     let outcome = run_greedy(&pre, options);
-    let _t = timing::scoped(Phase::Assemble);
-    assemble_result(space, &outcome, columns, weights)
+    let result = {
+        let _t = timing::scoped(Phase::Assemble);
+        assemble_result(space, &outcome, columns, weights)
+    };
+    let artifacts = PipelineArtifacts {
+        oracle,
+        blocking,
+        rules,
+        outcome,
+    };
+    (result, Some(artifacts))
 }
 
 /// Remove candidate pairs forbidden by learned interned rules; `word_sets`

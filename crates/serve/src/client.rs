@@ -1,0 +1,97 @@
+//! A small blocking client for the newline-delimited JSON protocol.
+
+use crate::protocol::{Request, Response, ServerStats};
+use autofj_store::ServeMatch;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// One connection to a join server.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one request and read its response.
+    pub fn request(&mut self, request: &Request) -> io::Result<Response> {
+        let mut line = serde_json::to_string(request)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        serde_json::from_str(reply.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    }
+
+    fn unexpected(response: Response) -> io::Error {
+        let msg = match response {
+            Response::Error { message } => message,
+            other => format!("unexpected response: {other:?}"),
+        };
+        io::Error::new(io::ErrorKind::InvalidData, msg)
+    }
+
+    /// Join one record.
+    pub fn join(&mut self, record: &str) -> io::Result<Option<ServeMatch>> {
+        match self.request(&Request::Join {
+            record: record.to_string(),
+        })? {
+            Response::Join { matched } => Ok(matched),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Join a batch of records.
+    pub fn join_batch(&mut self, records: &[String]) -> io::Result<Vec<Option<ServeMatch>>> {
+        match self.request(&Request::JoinBatch {
+            records: records.to_vec(),
+        })? {
+            Response::JoinBatch { matches } => Ok(matches),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Append records to the stored right table; returns the new right-table
+    /// size and the new epoch.
+    pub fn append(&mut self, records: &[String]) -> io::Result<(usize, u64)> {
+        match self.request(&Request::Append {
+            records: records.to_vec(),
+        })? {
+            Response::Append { num_right, epoch } => Ok((num_right, epoch)),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Fetch server statistics.
+    pub fn stats(&mut self) -> io::Result<ServerStats> {
+        match self.request(&Request::Stats)? {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+
+    /// Ask the server to shut down.
+    pub fn shutdown(&mut self) -> io::Result<bool> {
+        match self.request(&Request::Shutdown)? {
+            Response::Shutdown { ok } => Ok(ok),
+            other => Err(Self::unexpected(other)),
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! The wire protocol: newline-delimited JSON, one request and one response
+//! per line.
+//!
+//! Each connection is a sequence of independent request/response exchanges;
+//! requests on one connection are answered in order.  Unparseable input
+//! produces a [`Response::Error`] and the connection stays open.
+
+use autofj_store::ServeMatch;
+use serde::{Deserialize, Serialize};
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Join a single record against the reference table.
+    Join {
+        /// The raw query string.
+        record: String,
+    },
+    /// Join a batch of records in one exchange (served through the same
+    /// chunked batch path as offline benchmarking).
+    JoinBatch {
+        /// The raw query strings.
+        records: Vec<String>,
+    },
+    /// Append records to the stored right table (visible to subsequent
+    /// queries on every connection once the epoch advances).
+    Append {
+        /// The raw records to append.
+        records: Vec<String>,
+    },
+    /// Fetch server statistics.
+    Stats,
+    /// Ask the server to shut down after responding.
+    Shutdown,
+}
+
+/// A server response.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Answer to [`Request::Join`].
+    Join {
+        /// The match, or `None` when the program joins nothing.
+        matched: Option<ServeMatch>,
+    },
+    /// Answer to [`Request::JoinBatch`], aligned with the request records.
+    JoinBatch {
+        /// Per-record matches.
+        matches: Vec<Option<ServeMatch>>,
+    },
+    /// Answer to [`Request::Append`].
+    Append {
+        /// Total stored right records after the append.
+        num_right: usize,
+        /// The epoch of the state the append produced.
+        epoch: u64,
+    },
+    /// Answer to [`Request::Stats`].
+    Stats {
+        /// Current server statistics.
+        stats: ServerStats,
+    },
+    /// Answer to [`Request::Shutdown`].
+    Shutdown {
+        /// Always `true`; the server exits after writing this.
+        ok: bool,
+    },
+    /// The request line could not be parsed or served.
+    Error {
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+/// A point-in-time view of the server's counters and table sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerStats {
+    /// Epoch of the current state view; bumped by every append.
+    pub epoch: u64,
+    /// Reference records.
+    pub num_left: usize,
+    /// Stored right records (learn-time plus appended).
+    pub num_right: usize,
+    /// Selected configurations in the served program.
+    pub num_configs: usize,
+    /// Join records answered since startup (batch records count
+    /// individually).
+    pub queries_served: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_through_json() {
+        let reqs = vec![
+            Request::Join {
+                record: "2007 LSU Tigers football".to_string(),
+            },
+            Request::JoinBatch {
+                records: vec!["a".to_string(), "b".to_string()],
+            },
+            Request::Append {
+                records: vec!["c".to_string()],
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = serde_json::to_string(&req).unwrap();
+            assert!(!line.contains('\n'), "wire lines must be single-line");
+            let back: Request = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_through_json() {
+        let resps = vec![
+            Response::Join {
+                matched: Some(autofj_store::ServeMatch {
+                    left: 3,
+                    distance: 0.25,
+                    precision: 0.5,
+                    config_index: 1,
+                }),
+            },
+            Response::Join { matched: None },
+            Response::JoinBatch {
+                matches: vec![None, None],
+            },
+            Response::Append {
+                num_right: 10,
+                epoch: 2,
+            },
+            Response::Stats {
+                stats: ServerStats {
+                    epoch: 1,
+                    num_left: 100,
+                    num_right: 50,
+                    num_configs: 4,
+                    queries_served: 123,
+                },
+            },
+            Response::Shutdown { ok: true },
+            Response::Error {
+                message: "bad request".to_string(),
+            },
+        ];
+        for resp in resps {
+            let line = serde_json::to_string(&resp).unwrap();
+            let back: Response = serde_json::from_str(&line).unwrap();
+            assert_eq!(back, resp);
+        }
+    }
+}

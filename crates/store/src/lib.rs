@@ -1,0 +1,40 @@
+//! # autofj-store
+//!
+//! Persistent snapshots of learned Auto-FuzzyJoin programs, and the frozen
+//! [`ServingState`] an online service answers queries from.
+//!
+//! A snapshot is a single versioned, checksummed binary file (see
+//! [`mod@format`]) holding the prepared column (raw strings, interned token
+//! sets, vocabularies), the blocking index, the learned negative rules, the
+//! per-function ball-distance rows behind the precision estimate, and the
+//! selected configurations.  Loading (see [`pager`]) validates the header
+//! and the whole-payload FNV-1a checksum before decoding, reconstructs the
+//! column **without re-tokenizing**, and yields a state whose answers are
+//! byte-identical to the batch pipeline that learned the program.
+//!
+//! ```
+//! use autofj_core::{AutoFjOptions, join_single_column};
+//! use autofj_store::{QueryScratch, ServingState};
+//! use autofj_text::JoinFunctionSpace;
+//!
+//! let left: Vec<String> = ["2007 LSU Tigers football team",
+//!                          "2007 Wisconsin Badgers football team",
+//!                          "2008 Oregon Ducks football team"]
+//!     .map(String::from).to_vec();
+//! let right: Vec<String> = ["2007 LSU Tigers football"].map(String::from).to_vec();
+//! let space = JoinFunctionSpace::reduced24();
+//! let options = AutoFjOptions::default();
+//!
+//! let (state, result) = ServingState::learn(&left, &right, &space, &options);
+//! let mut scratch = QueryScratch::for_state(&state);
+//! let served = state.query(&right[0], &mut scratch);
+//! assert_eq!(served.map(|m| m.left), result.assignment[0]);
+//! ```
+
+pub mod format;
+pub mod pager;
+pub mod snapshot;
+
+pub use format::{SnapshotWriter, StoreError, FORMAT_VERSION, MAGIC};
+pub use pager::{PagedFile, SectionCursor, SnapshotFile, PAGE_SIZE};
+pub use snapshot::{QueryScratch, ServeConfig, ServeMatch, ServingState};

@@ -1,0 +1,538 @@
+//! Page-style snapshot reader.
+//!
+//! [`PagedFile`] wraps a read-only file behind a lazy 8 KiB page cache:
+//! byte ranges are served from cached pages, and pages are faulted in on
+//! first touch with positioned reads.  [`SnapshotFile`] opens a snapshot,
+//! validates the header (magic, version, payload length), verifies the
+//! FNV-1a payload checksum with a streaming pass that bypasses the page
+//! cache, and parses the section table.  [`SectionCursor`] then offers
+//! typed reads over one section, with strict bounds checking — a cursor
+//! can never read past its section.
+
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+
+use crate::format::{
+    tag_name, Fnv64, SectionTag, StoreError, FORMAT_VERSION, HEADER_LEN, MAGIC, SECTION_ENTRY_LEN,
+};
+
+/// Cache page size in bytes.
+pub const PAGE_SIZE: usize = 8192;
+
+/// A read-only file with a lazy page cache.
+#[derive(Debug)]
+pub struct PagedFile {
+    file: File,
+    len: u64,
+    pages: HashMap<u64, Box<[u8]>>,
+    pages_faulted: u64,
+}
+
+impl PagedFile {
+    /// Open `path` read-only.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let file = File::open(path)?;
+        let len = file.metadata()?.len();
+        Ok(Self {
+            file,
+            len,
+            pages: HashMap::new(),
+            pages_faulted: 0,
+        })
+    }
+
+    /// Total file length in bytes.
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// Whether the file is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages faulted in so far (observability for tests/tools).
+    pub fn pages_faulted(&self) -> u64 {
+        self.pages_faulted
+    }
+
+    fn page(&mut self, page_no: u64) -> Result<&[u8], StoreError> {
+        if !self.pages.contains_key(&page_no) {
+            let start = page_no * PAGE_SIZE as u64;
+            if start >= self.len {
+                return Err(StoreError::Corrupt(format!(
+                    "read past end of file (page {page_no})"
+                )));
+            }
+            let want = PAGE_SIZE.min((self.len - start) as usize);
+            let mut buf = vec![0u8; want];
+            self.file.seek(SeekFrom::Start(start))?;
+            self.file.read_exact(&mut buf)?;
+            self.pages.insert(page_no, buf.into_boxed_slice());
+            self.pages_faulted += 1;
+        }
+        Ok(&self.pages[&page_no])
+    }
+
+    /// Fill `buf` from the absolute file offset `offset`, faulting pages in
+    /// as needed.
+    pub fn read_exact_at(&mut self, mut offset: u64, buf: &mut [u8]) -> Result<(), StoreError> {
+        if offset
+            .checked_add(buf.len() as u64)
+            .is_none_or(|end| end > self.len)
+        {
+            return Err(StoreError::Corrupt(format!(
+                "read of {} bytes at offset {offset} exceeds file length {}",
+                buf.len(),
+                self.len
+            )));
+        }
+        let mut filled = 0usize;
+        while filled < buf.len() {
+            let page_no = offset / PAGE_SIZE as u64;
+            let in_page = (offset % PAGE_SIZE as u64) as usize;
+            let page = self.page(page_no)?;
+            let take = (page.len() - in_page).min(buf.len() - filled);
+            buf[filled..filled + take].copy_from_slice(&page[in_page..in_page + take]);
+            filled += take;
+            offset += take as u64;
+        }
+        Ok(())
+    }
+
+    /// Hash `len` bytes starting at `start` with FNV-1a 64 in a streaming
+    /// pass that does not populate the page cache.
+    fn checksum_range(&mut self, start: u64, len: u64) -> Result<u64, StoreError> {
+        self.file.seek(SeekFrom::Start(start))?;
+        let mut hasher = Fnv64::new();
+        let mut remaining = len;
+        let mut buf = [0u8; PAGE_SIZE];
+        while remaining > 0 {
+            let take = PAGE_SIZE.min(remaining as usize);
+            self.file.read_exact(&mut buf[..take])?;
+            hasher.update(&buf[..take]);
+            remaining -= take as u64;
+        }
+        Ok(hasher.finish())
+    }
+}
+
+/// An opened, validated snapshot: header checked, checksum verified,
+/// section table parsed.
+#[derive(Debug)]
+pub struct SnapshotFile {
+    pager: PagedFile,
+    version: u32,
+    sections: Vec<(SectionTag, u64, u64)>,
+}
+
+impl SnapshotFile {
+    /// Open and validate a snapshot file.
+    ///
+    /// Fails with [`StoreError::BadMagic`], [`StoreError::UnsupportedVersion`],
+    /// [`StoreError::ChecksumMismatch`] or [`StoreError::Corrupt`] before any
+    /// section data is interpreted.
+    pub fn open(path: &Path) -> Result<Self, StoreError> {
+        let mut pager = PagedFile::open(path)?;
+        if pager.len() < HEADER_LEN {
+            return Err(StoreError::BadMagic);
+        }
+        let mut header = [0u8; HEADER_LEN as usize];
+        pager.read_exact_at(0, &mut header)?;
+        if header[..8] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+        if version == 0 || version > FORMAT_VERSION {
+            return Err(StoreError::UnsupportedVersion(version));
+        }
+        let section_count = u32::from_le_bytes(header[12..16].try_into().unwrap()) as u64;
+        let payload_len = u64::from_le_bytes(header[16..24].try_into().unwrap());
+        let expected_checksum = u64::from_le_bytes(header[24..32].try_into().unwrap());
+
+        if HEADER_LEN
+            .checked_add(payload_len)
+            .is_none_or(|total| total != pager.len())
+        {
+            return Err(StoreError::Corrupt(format!(
+                "header claims a {payload_len}-byte payload but the file holds {} payload bytes",
+                pager.len().saturating_sub(HEADER_LEN)
+            )));
+        }
+        let table_len = section_count
+            .checked_mul(SECTION_ENTRY_LEN)
+            .filter(|&t| t <= payload_len)
+            .ok_or_else(|| {
+                StoreError::Corrupt(format!(
+                    "section table for {section_count} sections does not fit the payload"
+                ))
+            })?;
+
+        let actual_checksum = pager.checksum_range(HEADER_LEN, payload_len)?;
+        if actual_checksum != expected_checksum {
+            return Err(StoreError::ChecksumMismatch {
+                expected: expected_checksum,
+                actual: actual_checksum,
+            });
+        }
+
+        let mut table = vec![0u8; table_len as usize];
+        pager.read_exact_at(HEADER_LEN, &mut table)?;
+        let mut sections = Vec::with_capacity(section_count as usize);
+        for entry in table.chunks_exact(SECTION_ENTRY_LEN as usize) {
+            let tag: SectionTag = entry[..8].try_into().unwrap();
+            let offset = u64::from_le_bytes(entry[8..16].try_into().unwrap());
+            let len = u64::from_le_bytes(entry[16..24].try_into().unwrap());
+            let file_len = pager.len();
+            if offset < HEADER_LEN + table_len
+                || offset.checked_add(len).is_none_or(|end| end > file_len)
+            {
+                return Err(StoreError::Corrupt(format!(
+                    "section {} spans [{offset}, {offset}+{len}) outside the payload",
+                    tag_name(&tag)
+                )));
+            }
+            sections.push((tag, offset, len));
+        }
+
+        Ok(Self {
+            pager,
+            version,
+            sections,
+        })
+    }
+
+    /// Format version recorded in the header.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Tags present in this snapshot, in file order.
+    pub fn section_tags(&self) -> Vec<SectionTag> {
+        self.sections.iter().map(|(t, _, _)| *t).collect()
+    }
+
+    /// Whether a section with `tag` exists.
+    pub fn has_section(&self, tag: SectionTag) -> bool {
+        self.sections.iter().any(|(t, _, _)| *t == tag)
+    }
+
+    /// A typed cursor over the section with `tag`.
+    pub fn section(&mut self, tag: SectionTag) -> Result<SectionCursor<'_>, StoreError> {
+        let (offset, len) = self
+            .sections
+            .iter()
+            .find(|(t, _, _)| *t == tag)
+            .map(|&(_, o, l)| (o, l))
+            .ok_or_else(|| StoreError::MissingSection(tag_name(&tag)))?;
+        Ok(SectionCursor {
+            pager: &mut self.pager,
+            tag,
+            pos: offset,
+            end: offset + len,
+        })
+    }
+
+    /// Pages faulted in so far (excludes the streaming checksum pass).
+    pub fn pages_faulted(&self) -> u64 {
+        self.pager.pages_faulted()
+    }
+}
+
+/// Sequential typed reader over one section; every read is bounds-checked
+/// against the section extent.
+#[derive(Debug)]
+pub struct SectionCursor<'a> {
+    pager: &'a mut PagedFile,
+    tag: SectionTag,
+    pos: u64,
+    end: u64,
+}
+
+impl SectionCursor<'_> {
+    fn take(&mut self, buf: &mut [u8]) -> Result<(), StoreError> {
+        if self.pos + buf.len() as u64 > self.end {
+            return Err(StoreError::Corrupt(format!(
+                "section {} ends mid-value",
+                tag_name(&self.tag)
+            )));
+        }
+        self.pager.read_exact_at(self.pos, buf)?;
+        self.pos += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Bytes left in the section.
+    pub fn remaining(&self) -> u64 {
+        self.end - self.pos
+    }
+
+    /// Error unless the section has been consumed exactly.
+    pub fn expect_end(&self) -> Result<(), StoreError> {
+        if self.pos != self.end {
+            return Err(StoreError::Corrupt(format!(
+                "section {} has {} trailing bytes",
+                tag_name(&self.tag),
+                self.end - self.pos
+            )));
+        }
+        Ok(())
+    }
+
+    /// Read a `u32`.
+    pub fn read_u32(&mut self) -> Result<u32, StoreError> {
+        let mut b = [0u8; 4];
+        self.take(&mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Read a `u64`.
+    pub fn read_u64(&mut self) -> Result<u64, StoreError> {
+        let mut b = [0u8; 8];
+        self.take(&mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Read a length-prefixed count, guarding against lengths that cannot
+    /// fit in the remaining section (`elem_size` bytes per element).
+    fn read_len(&mut self, elem_size: u64) -> Result<usize, StoreError> {
+        let n = self.read_u64()?;
+        if n.checked_mul(elem_size)
+            .is_none_or(|bytes| bytes > self.remaining())
+        {
+            return Err(StoreError::Corrupt(format!(
+                "section {} declares {n} elements but only {} bytes remain",
+                tag_name(&self.tag),
+                self.remaining()
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    /// Read an `f32` stored as its bit pattern.
+    pub fn read_f32(&mut self) -> Result<f32, StoreError> {
+        Ok(f32::from_bits(self.read_u32()?))
+    }
+
+    /// Read an `f64` stored as its bit pattern.
+    pub fn read_f64(&mut self) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Read everything left in the section as one UTF-8 string (used for the
+    /// JSON manifest, whose extent is the section itself).
+    pub fn read_rest_str(&mut self) -> Result<String, StoreError> {
+        let n = self.remaining() as usize;
+        let mut bytes = vec![0u8; n];
+        self.take(&mut bytes)?;
+        String::from_utf8(bytes).map_err(|_| {
+            StoreError::Corrupt(format!(
+                "section {} holds invalid UTF-8",
+                tag_name(&self.tag)
+            ))
+        })
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn read_str(&mut self) -> Result<String, StoreError> {
+        let n = self.read_len(1)?;
+        let mut bytes = vec![0u8; n];
+        self.take(&mut bytes)?;
+        String::from_utf8(bytes).map_err(|_| {
+            StoreError::Corrupt(format!(
+                "section {} holds invalid UTF-8",
+                tag_name(&self.tag)
+            ))
+        })
+    }
+
+    /// Read a length-prefixed `u32` vector.
+    pub fn read_u32_vec(&mut self) -> Result<Vec<u32>, StoreError> {
+        let n = self.read_len(4)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.read_u32()?);
+        }
+        Ok(v)
+    }
+
+    /// Read a length-prefixed `f32` vector (bit patterns).
+    pub fn read_f32_vec(&mut self) -> Result<Vec<f32>, StoreError> {
+        let n = self.read_len(4)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.read_f32()?);
+        }
+        Ok(v)
+    }
+
+    /// Read a length-prefixed `f64` vector (bit patterns).
+    pub fn read_f64_vec(&mut self) -> Result<Vec<f64>, StoreError> {
+        let n = self.read_len(8)?;
+        let mut v = Vec::with_capacity(n);
+        for _ in 0..n {
+            v.push(self.read_f64()?);
+        }
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::{
+        put_f64_slice, put_str, put_u32_slice, SnapshotWriter, SEC_META, SEC_RAWS,
+    };
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(label: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "autofj_store_pager_{}_{label}_{n}.afj",
+            std::process::id()
+        ))
+    }
+
+    fn write_sample(path: &Path) {
+        let mut meta = Vec::new();
+        put_str(&mut meta, "hello snapshot");
+        let mut raws = Vec::new();
+        put_u32_slice(&mut raws, &[1, 2, 3, 40_000]);
+        put_f64_slice(&mut raws, &[0.5, -1.25]);
+        let mut w = SnapshotWriter::new();
+        w.add_section(SEC_META, meta);
+        w.add_section(SEC_RAWS, raws);
+        w.write_to(path).unwrap();
+    }
+
+    #[test]
+    fn round_trips_sections_through_disk() {
+        let path = temp_path("roundtrip");
+        write_sample(&path);
+        let mut snap = SnapshotFile::open(&path).unwrap();
+        assert_eq!(snap.version(), FORMAT_VERSION);
+        assert!(snap.has_section(SEC_META));
+        assert!(snap.has_section(SEC_RAWS));
+
+        let mut meta = snap.section(SEC_META).unwrap();
+        assert_eq!(meta.read_str().unwrap(), "hello snapshot");
+        meta.expect_end().unwrap();
+
+        let mut raws = snap.section(SEC_RAWS).unwrap();
+        assert_eq!(raws.read_u32_vec().unwrap(), vec![1, 2, 3, 40_000]);
+        assert_eq!(raws.read_f64_vec().unwrap(), vec![0.5, -1.25]);
+        raws.expect_end().unwrap();
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let path = temp_path("magic");
+        write_sample(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            SnapshotFile::open(&path),
+            Err(StoreError::BadMagic)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let path = temp_path("version");
+        write_sample(&path);
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            SnapshotFile::open(&path),
+            Err(StoreError::UnsupportedVersion(v)) if v == FORMAT_VERSION + 1
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_payload_bit_flips() {
+        let path = temp_path("bitflip");
+        write_sample(&path);
+        let clean = std::fs::read(&path).unwrap();
+        // Flip one bit at several payload positions; every flip must be caught.
+        for pos in [HEADER_LEN as usize, clean.len() / 2, clean.len() - 1] {
+            let mut bytes = clean.clone();
+            bytes[pos] ^= 0x01;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(
+                matches!(
+                    SnapshotFile::open(&path),
+                    Err(StoreError::ChecksumMismatch { .. })
+                ),
+                "flip at {pos} went undetected"
+            );
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let path = temp_path("truncate");
+        write_sample(&path);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 5]).unwrap();
+        assert!(matches!(
+            SnapshotFile::open(&path),
+            Err(StoreError::Corrupt(_))
+        ));
+        // Truncating into the header reads as "not a snapshot".
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        assert!(matches!(
+            SnapshotFile::open(&path),
+            Err(StoreError::BadMagic)
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_section_is_reported_by_name() {
+        let path = temp_path("missing");
+        let mut w = SnapshotWriter::new();
+        w.add_section(SEC_META, vec![]);
+        w.write_to(&path).unwrap();
+        let mut snap = SnapshotFile::open(&path).unwrap();
+        match snap.section(SEC_RAWS) {
+            Err(StoreError::MissingSection(name)) => assert_eq!(name, "RAWS"),
+            other => panic!("expected MissingSection, got {other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn cursor_refuses_to_cross_section_boundary() {
+        let path = temp_path("bounds");
+        write_sample(&path);
+        let mut snap = SnapshotFile::open(&path).unwrap();
+        let mut meta = snap.section(SEC_META).unwrap();
+        let _ = meta.read_str().unwrap();
+        assert!(matches!(meta.read_u64(), Err(StoreError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn hostile_length_prefix_is_rejected_without_allocation() {
+        let path = temp_path("hostile");
+        let mut body = Vec::new();
+        crate::format::put_u64(&mut body, u64::MAX); // claims 2^64-1 elements
+        let mut w = SnapshotWriter::new();
+        w.add_section(SEC_META, body);
+        w.write_to(&path).unwrap();
+        let mut snap = SnapshotFile::open(&path).unwrap();
+        let mut meta = snap.section(SEC_META).unwrap();
+        assert!(matches!(meta.read_u32_vec(), Err(StoreError::Corrupt(_))));
+        std::fs::remove_file(&path).ok();
+    }
+}

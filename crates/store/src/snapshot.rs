@@ -1,0 +1,1070 @@
+//! The frozen serving state of a learned join program, and its snapshot
+//! (de)serialization.
+//!
+//! [`ServingState`] holds everything the online query path needs to answer a
+//! fuzzy-join lookup **byte-identically** to the batch pipeline that learned
+//! the program:
+//!
+//! * the [`PreparedColumn`] over `left ++ right` (raw strings, interned token
+//!   sets and vocabularies are persisted; pre-processed strings, character
+//!   vectors and embeddings are recomputed deterministically on load — no
+//!   re-tokenization, no vocabulary re-interning),
+//! * the blocking [`GramIndex`] CSR arrays and the per-probe candidate count
+//!   `k`, frozen at learn time,
+//! * the learned negative rules (when enabled),
+//! * per selected join function, the sorted L–L "ball" distance rows that
+//!   drive the per-pair precision estimate (Eq. 8/9), and
+//! * the selected configurations in selection order.
+//!
+//! A query replays the exact batch pipeline for one record: blocking top-k →
+//! negative-rule filter → per-function nearest neighbour (first-wins strict
+//! minimum, in candidate order) → threshold check → conflict fold over
+//! configuration ordinals keeping the higher per-pair precision.  Every
+//! floating-point comparison and fold happens in the same order and width
+//! (`f32` distances, `f64` precisions) as the batch code, so serving a right
+//! record returns the same bytes [`autofj_core::join_single_column`] put in
+//! its [`JoinResult`].
+
+use crate::format::{
+    put_f32, put_f64, put_str, put_u32, put_u32_slice, put_u64, SnapshotWriter, StoreError,
+    SEC_CONF, SEC_GRIDX, SEC_LLCAND, SEC_LLDIST, SEC_META, SEC_RAWS, SEC_RULES, SEC_TOKSETS,
+    SEC_VOCABS,
+};
+use crate::pager::SnapshotFile;
+use autofj_block::{GramIndex, ProbeScratch};
+use autofj_core::estimate::ball_count_sorted;
+use autofj_core::{
+    join_single_column_with_artifacts, AutoFjOptions, BallMode, Config, InternedRuleSet,
+    JoinProgram, JoinResult, PipelineArtifacts,
+};
+use autofj_text::prepared::{scheme_index, NUM_SCHEMES};
+use autofj_text::vocab::Vocab;
+use autofj_text::{
+    JoinFunction, JoinFunctionSpace, PreparedColumn, PreparedRecord, Preprocessing, Tokenization,
+};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One selected configuration of the serving state: which distinct function
+/// it evaluates and the distance threshold θ.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeConfig {
+    /// Index into [`ServingState::functions`].
+    pub slot: usize,
+    /// Distance threshold θ (`f32`, exactly as the greedy search selected it).
+    pub threshold: f32,
+}
+
+/// The answer for one query record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServeMatch {
+    /// Index of the matched reference record.
+    pub left: usize,
+    /// Distance under the winning configuration (widened from `f32` exactly
+    /// like [`autofj_core::JoinedPair::distance`]).
+    pub distance: f64,
+    /// Per-pair precision estimate of the winning configuration.
+    pub precision: f64,
+    /// Ordinal of the winning configuration within the selected union.
+    pub config_index: usize,
+}
+
+/// The JSON manifest section: everything enum-valued or integral (floats
+/// live in the binary `CONF` section so their bits survive exactly).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct SnapshotMeta {
+    num_left: usize,
+    num_right: usize,
+    k: usize,
+    use_negative_rules: bool,
+    ball_pair_distance: bool,
+    functions: Vec<JoinFunction>,
+}
+
+/// Per-query scratch: the blocking probe accumulator plus the per-slot
+/// nearest-neighbour buffer.  One instance serves any number of queries
+/// against the state it was sized for.
+pub struct QueryScratch {
+    probe: ProbeScratch,
+    slot_nearest: Vec<Option<(u32, f32)>>,
+}
+
+impl QueryScratch {
+    /// Scratch sized for `state`.
+    pub fn for_state(state: &ServingState) -> Self {
+        Self {
+            probe: ProbeScratch::new(state.index.num_left()),
+            slot_nearest: vec![None; state.functions.len()],
+        }
+    }
+}
+
+/// A learned join program frozen for online serving.  See the module docs
+/// for the replay contract.
+#[derive(Debug, Clone)]
+pub struct ServingState {
+    column: PreparedColumn,
+    num_left: usize,
+    num_right: usize,
+    /// Blocking candidates kept per probe, frozen at learn time.
+    k: usize,
+    /// Inverted 3-gram index over the reference records only.
+    index: GramIndex,
+    rules: Option<InternedRuleSet>,
+    ball_pair_distance: bool,
+    /// The distinct join functions of the selected union, in first-appearance
+    /// order over the selected configurations.
+    functions: Vec<JoinFunction>,
+    configs: Vec<ServeConfig>,
+    /// `ll_candidates[l]`: the blocked reference neighbours of reference
+    /// record `l`, frozen at learn time (blocking only ever probes the
+    /// reference side, which appends never touch).
+    ll_candidates: Vec<Vec<usize>>,
+    /// `ll_rows[slot][l]`: ascending L–L distances from reference record `l`
+    /// to its blocked reference neighbours under `functions[slot]` — the ball
+    /// neighbourhood the per-pair precision counts over.  Re-derived from
+    /// `ll_candidates` on every append: IDF token weights cover the union of
+    /// both tables, so growing the right table shifts weighted distances.
+    ll_rows: Vec<Vec<Vec<f32>>>,
+    estimated_precision: f64,
+    estimated_recall: f64,
+}
+
+/// Deduplicate the selected configurations' functions in selection order and
+/// map each configuration onto its slot.
+fn dedup_functions(
+    selected: impl Iterator<Item = (JoinFunction, f32)>,
+) -> (Vec<JoinFunction>, Vec<ServeConfig>) {
+    let mut functions: Vec<JoinFunction> = Vec::new();
+    let mut configs = Vec::new();
+    for (f, threshold) in selected {
+        let slot = match functions.iter().position(|g| *g == f) {
+            Some(slot) => slot,
+            None => {
+                functions.push(f);
+                functions.len() - 1
+            }
+        };
+        configs.push(ServeConfig { slot, threshold });
+    }
+    (functions, configs)
+}
+
+/// Compute the sorted L–L ball rows for every reference record under every
+/// selected function — the exact per-left computation of
+/// `FunctionStats::build` (distances narrowed to `f32` in candidate order,
+/// non-finite dropped, sorted with the same comparator), extended from "only
+/// lefts that are someone's nearest" to all lefts so novel queries can land
+/// anywhere.  On the lefts the batch pipeline populated, the rows are
+/// byte-identical.
+fn derive_ball_rows(
+    column: &PreparedColumn,
+    functions: &[JoinFunction],
+    ll_candidates: &[Vec<usize>],
+    num_left: usize,
+) -> Vec<Vec<Vec<f32>>> {
+    functions
+        .iter()
+        .map(|f| {
+            (0..num_left)
+                .into_par_iter()
+                .with_min_len(16)
+                .map(|l| {
+                    let mut v: Vec<f32> = ll_candidates
+                        .get(l)
+                        .map(|cands| {
+                            cands
+                                .iter()
+                                .map(|&l2| f.distance(column, l, l2) as f32)
+                                .filter(|d| d.is_finite())
+                                .collect()
+                        })
+                        .unwrap_or_default();
+                    v.sort_unstable_by(|a, b| {
+                        a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)
+                    });
+                    v
+                })
+                .collect()
+        })
+        .collect()
+}
+
+impl ServingState {
+    /// Run the batch pipeline over `left`/`right` and freeze its learned
+    /// state for serving.  Returns the state together with the batch
+    /// [`JoinResult`] it will replay.
+    pub fn learn(
+        left: &[String],
+        right: &[String],
+        space: &JoinFunctionSpace,
+        options: &AutoFjOptions,
+    ) -> (Self, JoinResult) {
+        let (result, artifacts) = join_single_column_with_artifacts(left, right, space, options);
+        let state = match artifacts {
+            Some(artifacts) => Self::from_artifacts(space, options, &result, artifacts),
+            None => Self::from_program(
+                left,
+                right,
+                &result.program,
+                options,
+                result.estimated_precision,
+                result.estimated_recall,
+            ),
+        };
+        (state, result)
+    }
+
+    /// Freeze the state out of a finished pipeline's artifacts — nothing is
+    /// re-prepared or re-blocked.
+    pub fn from_artifacts(
+        space: &JoinFunctionSpace,
+        options: &AutoFjOptions,
+        result: &JoinResult,
+        artifacts: PipelineArtifacts,
+    ) -> Self {
+        let PipelineArtifacts {
+            oracle,
+            blocking,
+            rules,
+            outcome,
+        } = artifacts;
+        let column = oracle.into_column();
+        let num_right = result.assignment.len();
+        let num_left = column.len() - num_right;
+        let (functions, configs) = dedup_functions(
+            outcome
+                .selected
+                .iter()
+                .map(|c| (space.functions()[c.function], c.threshold)),
+        );
+        let ll_candidates = blocking.left_candidates_of_left;
+        let ll_rows = derive_ball_rows(&column, &functions, &ll_candidates, num_left);
+        let index = Self::build_index(&column, num_left);
+        Self {
+            column,
+            num_left,
+            num_right,
+            k: blocking.candidates_per_record,
+            index,
+            rules,
+            ball_pair_distance: options.ball_mode == BallMode::PairDistance,
+            functions,
+            configs,
+            ll_candidates,
+            ll_rows,
+            estimated_precision: result.estimated_precision,
+            estimated_recall: result.estimated_recall,
+        }
+    }
+
+    /// Build the state from scratch for an already-learned `program`: prepare
+    /// the column, re-run blocking and negative-rule learning, and derive the
+    /// ball rows.  This is the reference construction the append-equivalence
+    /// tests compare against — appending records to a live state must be
+    /// indistinguishable from rebuilding on the concatenated table.
+    pub fn from_program(
+        left: &[String],
+        right: &[String],
+        program: &JoinProgram,
+        options: &AutoFjOptions,
+        estimated_precision: f64,
+        estimated_recall: f64,
+    ) -> Self {
+        let all: Vec<&str> = left
+            .iter()
+            .map(String::as_str)
+            .chain(right.iter().map(String::as_str))
+            .collect();
+        let column = PreparedColumn::build(&all);
+        let num_left = left.len();
+        let blocking = options.blocker().block_prepared(&column, num_left);
+        let rules = if options.use_negative_rules {
+            let si = scheme_index(Preprocessing::LowerStemRemovePunct, Tokenization::Space);
+            let word_sets: Vec<&[u32]> = (0..num_left)
+                .map(|i| column.record(i).token_sets[si].as_slice())
+                .collect();
+            Some(InternedRuleSet::learn(
+                &word_sets,
+                &blocking.left_candidates_of_left,
+            ))
+        } else {
+            None
+        };
+        let (functions, configs) = dedup_functions(
+            program
+                .configs
+                .iter()
+                .map(|c| (c.function, c.threshold as f32)),
+        );
+        let ll_candidates = blocking.left_candidates_of_left;
+        let ll_rows = derive_ball_rows(&column, &functions, &ll_candidates, num_left);
+        let index = Self::build_index(&column, num_left);
+        Self {
+            column,
+            num_left,
+            num_right: right.len(),
+            k: blocking.candidates_per_record,
+            index,
+            rules,
+            ball_pair_distance: options.ball_mode == BallMode::PairDistance,
+            functions,
+            configs,
+            ll_candidates,
+            ll_rows,
+            estimated_precision,
+            estimated_recall,
+        }
+    }
+
+    /// The blocking index over the reference records, with the full column
+    /// vocabulary as gram universe (query-only grams get empty postings,
+    /// exactly like batch blocking).
+    fn build_index(column: &PreparedColumn, num_left: usize) -> GramIndex {
+        let si = scheme_index(Preprocessing::Lower, Tokenization::Gram3);
+        let left_sets: Vec<&[u32]> = (0..num_left)
+            .map(|i| column.record(i).token_sets[si].as_slice())
+            .collect();
+        GramIndex::from_id_sets(&left_sets, column.vocab_by_scheme(si).len())
+    }
+
+    /// Number of reference records.
+    pub fn num_left(&self) -> usize {
+        self.num_left
+    }
+
+    /// Number of query records currently in the column (learn-time rights
+    /// plus appended records).
+    pub fn num_right(&self) -> usize {
+        self.num_right
+    }
+
+    /// Blocking candidates kept per probe.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The distinct selected join functions.
+    pub fn functions(&self) -> &[JoinFunction] {
+        &self.functions
+    }
+
+    /// The selected configurations in selection order.
+    pub fn configs(&self) -> &[ServeConfig] {
+        &self.configs
+    }
+
+    /// Estimated precision of the learned program.
+    pub fn estimated_precision(&self) -> f64 {
+        self.estimated_precision
+    }
+
+    /// Estimated recall (expected true positives) of the learned program.
+    pub fn estimated_recall(&self) -> f64 {
+        self.estimated_recall
+    }
+
+    /// The raw string of reference record `l`.
+    pub fn left_value(&self, l: usize) -> &str {
+        &self.column.record(l).raw
+    }
+
+    /// The raw string of stored query record `r`.
+    pub fn right_value(&self, r: usize) -> &str {
+        &self.column.record(self.num_left + r).raw
+    }
+
+    /// Reconstruct the learned [`JoinProgram`] (same bytes as the batch
+    /// result's program: thresholds widen from the selected `f32`s).
+    pub fn program(&self) -> JoinProgram {
+        JoinProgram {
+            configs: self
+                .configs
+                .iter()
+                .map(|c| Config::new(self.functions[c.slot], c.threshold as f64))
+                .collect(),
+            columns: vec!["value".to_string()],
+            column_weights: vec![1.0],
+        }
+    }
+
+    /// Append query records to the stored right table.  The reference-side
+    /// structure — index, rules, candidate lists, `k` — is untouched: appends
+    /// only grow the column (token ids are assigned exactly as a from-scratch
+    /// build over the concatenated table would assign them).  The ball
+    /// distance rows are re-derived, though: IDF token weights span the union
+    /// of both tables, so the new records shift weighted L–L distances just
+    /// as a rebuild on the concatenated table would.
+    pub fn append_right<S: AsRef<str> + Sync>(&mut self, records: &[S]) {
+        if records.is_empty() {
+            return;
+        }
+        self.column.append_records(records);
+        self.num_right += records.len();
+        self.ll_rows = derive_ball_rows(
+            &self.column,
+            &self.functions,
+            &self.ll_candidates,
+            self.num_left,
+        );
+    }
+
+    /// Answer one query record: the batch pipeline replayed for a single
+    /// string.  `scratch` must come from [`QueryScratch::for_state`] on this
+    /// state (or an identically-shaped one).
+    pub fn query(&self, raw: &str, scratch: &mut QueryScratch) -> Option<ServeMatch> {
+        let qrec = self.column.prepare_query(raw);
+        self.query_prepared(&qrec, scratch)
+    }
+
+    /// The query path over an already-prepared record.
+    fn query_prepared(
+        &self,
+        qrec: &PreparedRecord,
+        scratch: &mut QueryScratch,
+    ) -> Option<ServeMatch> {
+        // Blocking: same index, same k, same candidate order as batch.
+        let si_gram = scheme_index(Preprocessing::Lower, Tokenization::Gram3);
+        let candidates =
+            self.index
+                .top_k(&qrec.token_sets[si_gram], self.k, None, &mut scratch.probe);
+
+        // Negative rules: drop forbidden candidates, preserving order.
+        let si_rules = scheme_index(Preprocessing::LowerStemRemovePunct, Tokenization::Space);
+        let passes = |l: usize| match &self.rules {
+            Some(rules) => !rules.forbids(
+                &self.column.record(l).token_sets[si_rules],
+                &qrec.token_sets[si_rules],
+            ),
+            None => true,
+        };
+
+        // Per-function nearest neighbour over the surviving candidates, in
+        // candidate order with the batch first-wins strict-minimum fold.
+        for (slot, f) in self.functions.iter().enumerate() {
+            let mut best: Option<(u32, f32)> = None;
+            for &l in &candidates {
+                if !passes(l) {
+                    continue;
+                }
+                let d = f.distance_between(&self.column, self.column.record(l), qrec) as f32;
+                if !d.is_finite() {
+                    continue;
+                }
+                match best {
+                    Some((_, bd)) if d >= bd => {}
+                    _ => best = Some((l as u32, d)),
+                }
+            }
+            scratch.slot_nearest[slot] = best;
+        }
+
+        // Conflict fold over configuration ordinals — the per-record
+        // projection of `greedy::apply_candidate` applied in selection order.
+        let mut assigned: Option<(u32, f32, f64, usize)> = None;
+        for (ordinal, cfg) in self.configs.iter().enumerate() {
+            let Some((l, d)) = scratch.slot_nearest[cfg.slot] else {
+                continue;
+            };
+            // Batch inclusion test is `d <= θ`; `d` is finite here (the
+            // nearest fold dropped non-finite distances), so the negation is
+            // safe to write with `>`.
+            if d > cfg.threshold {
+                continue;
+            }
+            let radius = if self.ball_pair_distance {
+                2.0 * d as f64
+            } else {
+                2.0 * cfg.threshold as f64
+            };
+            let neighbours = ball_count_sorted(&self.ll_rows[cfg.slot][l as usize], radius);
+            let p = 1.0 / (1.0 + neighbours as f64);
+            match &assigned {
+                None => assigned = Some((l, d, p, ordinal)),
+                Some((al, _, _, _)) if *al == l => {}
+                Some((_, _, ap, _)) => {
+                    if p > *ap {
+                        assigned = Some((l, d, p, ordinal));
+                    }
+                }
+            }
+        }
+        assigned.map(|(l, d, p, ordinal)| ServeMatch {
+            left: l as usize,
+            distance: d as f64,
+            precision: p,
+            config_index: ordinal,
+        })
+    }
+
+    /// Answer a batch of queries, chunked across the rayon pool with one
+    /// scratch per chunk (deterministic: each query is independent and
+    /// results are collected in input order).
+    pub fn query_batch<S: AsRef<str> + Sync>(&self, raws: &[S]) -> Vec<Option<ServeMatch>> {
+        let n = raws.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let chunk = n.div_ceil(rayon::current_num_threads().max(1)).max(1);
+        let starts: Vec<usize> = (0..n).step_by(chunk).collect();
+        let per_chunk: Vec<Vec<Option<ServeMatch>>> = starts
+            .into_par_iter()
+            .map(|start| {
+                let end = (start + chunk).min(n);
+                let mut scratch = QueryScratch::for_state(self);
+                (start..end)
+                    .map(|i| self.query(raws[i].as_ref(), &mut scratch))
+                    .collect()
+            })
+            .collect();
+        per_chunk.into_iter().flatten().collect()
+    }
+
+    /// Replay every stored right record through the query path.
+    pub fn join_all(&self) -> Vec<Option<ServeMatch>> {
+        let raws: Vec<String> = (0..self.num_right)
+            .map(|r| self.right_value(r).to_string())
+            .collect();
+        self.query_batch(&raws)
+    }
+
+    /// Serialize the state to a snapshot file at `path`.
+    pub fn save(&self, path: &Path) -> Result<(), StoreError> {
+        let mut writer = SnapshotWriter::new();
+
+        let meta = SnapshotMeta {
+            num_left: self.num_left,
+            num_right: self.num_right,
+            k: self.k,
+            use_negative_rules: self.rules.is_some(),
+            ball_pair_distance: self.ball_pair_distance,
+            functions: self.functions.clone(),
+        };
+        let meta_json = serde_json::to_string(&meta)
+            .map_err(|e| StoreError::Corrupt(format!("manifest serialization failed: {e}")))?;
+        writer.add_section(SEC_META, meta_json.into_bytes());
+
+        let mut conf = Vec::new();
+        put_f64(&mut conf, self.estimated_precision);
+        put_f64(&mut conf, self.estimated_recall);
+        put_u64(&mut conf, self.configs.len() as u64);
+        for c in &self.configs {
+            put_u64(&mut conf, c.slot as u64);
+            put_f32(&mut conf, c.threshold);
+        }
+        writer.add_section(SEC_CONF, conf);
+
+        let mut raws = Vec::new();
+        put_u64(&mut raws, self.column.len() as u64);
+        for i in 0..self.column.len() {
+            put_str(&mut raws, &self.column.record(i).raw);
+        }
+        writer.add_section(SEC_RAWS, raws);
+
+        let mut vocabs = Vec::new();
+        for si in 0..NUM_SCHEMES {
+            let v = self.column.vocab_by_scheme(si);
+            put_u32(&mut vocabs, v.num_docs());
+            put_u64(&mut vocabs, v.len() as u64);
+            for id in 0..v.len() as u32 {
+                put_str(&mut vocabs, v.token(id));
+                put_u32(&mut vocabs, v.doc_freq(id));
+            }
+        }
+        writer.add_section(SEC_VOCABS, vocabs);
+
+        let mut toksets = Vec::new();
+        put_u64(&mut toksets, self.column.len() as u64);
+        for i in 0..self.column.len() {
+            for si in 0..NUM_SCHEMES {
+                put_u32_slice(&mut toksets, &self.column.record(i).token_sets[si]);
+            }
+        }
+        writer.add_section(SEC_TOKSETS, toksets);
+
+        let mut gridx = Vec::new();
+        put_u64(&mut gridx, self.index.num_left() as u64);
+        put_u32_slice(&mut gridx, self.index.offsets());
+        put_u32_slice(&mut gridx, self.index.postings());
+        crate::format::put_f64_slice(&mut gridx, self.index.idf());
+        writer.add_section(SEC_GRIDX, gridx);
+
+        let mut rules = Vec::new();
+        match &self.rules {
+            Some(set) => {
+                put_u32(&mut rules, 1);
+                let pairs = set.to_sorted_pairs();
+                put_u64(&mut rules, pairs.len() as u64);
+                for (a, b) in pairs {
+                    put_u32(&mut rules, a);
+                    put_u32(&mut rules, b);
+                }
+            }
+            None => put_u32(&mut rules, 0),
+        }
+        writer.add_section(SEC_RULES, rules);
+
+        let mut lldist = Vec::new();
+        put_u64(&mut lldist, self.ll_rows.len() as u64);
+        put_u64(&mut lldist, self.num_left as u64);
+        for rows in &self.ll_rows {
+            for row in rows {
+                crate::format::put_f32_slice(&mut lldist, row);
+            }
+        }
+        writer.add_section(SEC_LLDIST, lldist);
+
+        let mut llcand = Vec::new();
+        put_u64(&mut llcand, self.ll_candidates.len() as u64);
+        for cands in &self.ll_candidates {
+            let ids: Vec<u32> = cands.iter().map(|&l| l as u32).collect();
+            crate::format::put_u32_slice(&mut llcand, &ids);
+        }
+        writer.add_section(SEC_LLCAND, llcand);
+
+        writer.write_to(path)?;
+        Ok(())
+    }
+
+    /// Load a state from a snapshot file.  The header, version and payload
+    /// checksum are validated before any section is decoded; the column is
+    /// reconstructed from its persisted raw strings, token sets and
+    /// vocabularies without re-tokenizing anything.
+    pub fn load(path: &Path) -> Result<Self, StoreError> {
+        let mut snap = SnapshotFile::open(path)?;
+
+        let meta: SnapshotMeta = {
+            let mut cur = snap.section(SEC_META)?;
+            let json = cur.read_rest_str()?;
+            serde_json::from_str(&json)
+                .map_err(|e| StoreError::Corrupt(format!("bad manifest: {e}")))?
+        };
+
+        let (estimated_precision, estimated_recall, configs) = {
+            let mut cur = snap.section(SEC_CONF)?;
+            let p = cur.read_f64()?;
+            let r = cur.read_f64()?;
+            let n = cur.read_u64()? as usize;
+            let mut configs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let slot = cur.read_u64()? as usize;
+                if slot >= meta.functions.len() {
+                    return Err(StoreError::Corrupt(format!(
+                        "configuration references function slot {slot} of {}",
+                        meta.functions.len()
+                    )));
+                }
+                let threshold = cur.read_f32()?;
+                configs.push(ServeConfig { slot, threshold });
+            }
+            cur.expect_end()?;
+            (p, r, configs)
+        };
+
+        let raws = {
+            let mut cur = snap.section(SEC_RAWS)?;
+            let n = cur.read_u64()? as usize;
+            let mut raws = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                raws.push(cur.read_str()?);
+            }
+            cur.expect_end()?;
+            raws
+        };
+        if raws.len() != meta.num_left + meta.num_right {
+            return Err(StoreError::Corrupt(format!(
+                "{} raw records for {} left + {} right",
+                raws.len(),
+                meta.num_left,
+                meta.num_right
+            )));
+        }
+
+        let vocabs: [Vocab; NUM_SCHEMES] = {
+            let mut cur = snap.section(SEC_VOCABS)?;
+            let mut out: Vec<Vocab> = Vec::with_capacity(NUM_SCHEMES);
+            for _ in 0..NUM_SCHEMES {
+                let num_docs = cur.read_u32()?;
+                let n = cur.read_u64()? as usize;
+                let mut tokens = Vec::with_capacity(n.min(1 << 20));
+                let mut freqs = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    tokens.push(cur.read_str()?);
+                    freqs.push(cur.read_u32()?);
+                }
+                out.push(Vocab::from_parts(tokens, freqs, num_docs));
+            }
+            cur.expect_end()?;
+            out.try_into().expect("exactly NUM_SCHEMES vocabularies")
+        };
+
+        let token_sets = {
+            let mut cur = snap.section(SEC_TOKSETS)?;
+            let n = cur.read_u64()? as usize;
+            if n != raws.len() {
+                return Err(StoreError::Corrupt(format!(
+                    "{n} token-set records for {} raw records",
+                    raws.len()
+                )));
+            }
+            let mut sets: Vec<[Vec<u32>; NUM_SCHEMES]> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let mut rec: [Vec<u32>; NUM_SCHEMES] = Default::default();
+                for slot in rec.iter_mut() {
+                    *slot = cur.read_u32_vec()?;
+                }
+                sets.push(rec);
+            }
+            cur.expect_end()?;
+            sets
+        };
+
+        // Validate every persisted token id against its scheme's vocabulary
+        // before handing the parts to the (panicking) column constructor.
+        for rec in &token_sets {
+            for (si, set) in rec.iter().enumerate() {
+                if set.iter().any(|&id| id as usize >= vocabs[si].len()) {
+                    return Err(StoreError::Corrupt(format!(
+                        "token id out of vocabulary range in scheme {si}"
+                    )));
+                }
+            }
+        }
+
+        let index = {
+            let mut cur = snap.section(SEC_GRIDX)?;
+            let num_left_idx = cur.read_u64()? as usize;
+            let offsets = cur.read_u32_vec()?;
+            let postings = cur.read_u32_vec()?;
+            let idf = cur.read_f64_vec()?;
+            cur.expect_end()?;
+            if num_left_idx != meta.num_left
+                || offsets.len() != idf.len() + 1
+                || offsets.first() != Some(&0)
+                || !offsets.windows(2).all(|w| w[0] <= w[1])
+                || *offsets.last().unwrap() as usize != postings.len()
+                || postings.iter().any(|&l| l as usize >= num_left_idx.max(1))
+            {
+                return Err(StoreError::Corrupt(
+                    "inconsistent blocking index arrays".to_string(),
+                ));
+            }
+            GramIndex::from_parts(offsets, postings, idf, num_left_idx)
+        };
+
+        let rules = {
+            let mut cur = snap.section(SEC_RULES)?;
+            let present = cur.read_u32()?;
+            let rules = if present == 1 {
+                let n = cur.read_u64()? as usize;
+                let mut pairs = Vec::with_capacity(n.min(1 << 20));
+                for _ in 0..n {
+                    let a = cur.read_u32()?;
+                    let b = cur.read_u32()?;
+                    pairs.push((a, b));
+                }
+                Some(InternedRuleSet::from_pairs(pairs))
+            } else {
+                None
+            };
+            cur.expect_end()?;
+            rules
+        };
+        if rules.is_some() != meta.use_negative_rules {
+            return Err(StoreError::Corrupt(
+                "rule section disagrees with the manifest".to_string(),
+            ));
+        }
+
+        let ll_rows = {
+            let mut cur = snap.section(SEC_LLDIST)?;
+            let slots = cur.read_u64()? as usize;
+            let lefts = cur.read_u64()? as usize;
+            if slots != meta.functions.len() || lefts != meta.num_left {
+                return Err(StoreError::Corrupt(format!(
+                    "ball table shaped {slots}×{lefts}, expected {}×{}",
+                    meta.functions.len(),
+                    meta.num_left
+                )));
+            }
+            let mut rows = Vec::with_capacity(slots);
+            for _ in 0..slots {
+                let mut per_left = Vec::with_capacity(lefts.min(1 << 20));
+                for _ in 0..lefts {
+                    per_left.push(cur.read_f32_vec()?);
+                }
+                rows.push(per_left);
+            }
+            cur.expect_end()?;
+            rows
+        };
+
+        let ll_candidates = {
+            let mut cur = snap.section(SEC_LLCAND)?;
+            let lefts = cur.read_u64()? as usize;
+            if lefts != meta.num_left {
+                return Err(StoreError::Corrupt(format!(
+                    "{lefts} candidate lists for {} reference records",
+                    meta.num_left
+                )));
+            }
+            let mut out = Vec::with_capacity(lefts.min(1 << 20));
+            for _ in 0..lefts {
+                let ids = cur.read_u32_vec()?;
+                if let Some(&bad) = ids.iter().find(|&&l| l as usize >= meta.num_left) {
+                    return Err(StoreError::Corrupt(format!(
+                        "candidate {bad} out of range for {} reference records",
+                        meta.num_left
+                    )));
+                }
+                out.push(ids.into_iter().map(|l| l as usize).collect());
+            }
+            cur.expect_end()?;
+            out
+        };
+
+        let column = PreparedColumn::from_raw_parts(raws, token_sets, vocabs);
+        Ok(Self {
+            column,
+            num_left: meta.num_left,
+            num_right: meta.num_right,
+            k: meta.k,
+            index,
+            rules,
+            ball_pair_distance: meta.ball_pair_distance,
+            functions: meta.functions,
+            configs,
+            ll_candidates,
+            ll_rows,
+            estimated_precision,
+            estimated_recall,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn temp_path(label: &str) -> PathBuf {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "autofj_store_snapshot_{}_{label}_{n}.afj",
+            std::process::id()
+        ))
+    }
+
+    fn left_table() -> Vec<String> {
+        let mut v = Vec::new();
+        for year in 2004..2012 {
+            for team in [
+                "LSU Tigers football team",
+                "LSU Tigers baseball team",
+                "Wisconsin Badgers football team",
+                "Alabama Crimson Tide football team",
+                "Oregon Ducks football team",
+            ] {
+                v.push(format!("{year} {team}"));
+            }
+        }
+        v
+    }
+
+    fn right_table() -> Vec<String> {
+        vec![
+            "2005 LSU Tigers football".to_string(),
+            "2007 Wisconsin Badgers futball team".to_string(),
+            "2010 Oregon Ducks football team (NCAA)".to_string(),
+            "the 2006 alabama crimson tide football team".to_string(),
+            "totally unrelated string".to_string(),
+        ]
+    }
+
+    fn learned() -> (ServingState, JoinResult) {
+        let space = JoinFunctionSpace::reduced24();
+        let options = AutoFjOptions::default();
+        ServingState::learn(&left_table(), &right_table(), &space, &options)
+    }
+
+    /// The batch pairs as (right, left, distance bits, precision bits,
+    /// ordinal) tuples, for exact comparison.
+    fn result_tuples(result: &JoinResult) -> Vec<(usize, usize, u64, u64, usize)> {
+        result
+            .pairs
+            .iter()
+            .map(|p| {
+                (
+                    p.right,
+                    p.left,
+                    p.distance.to_bits(),
+                    p.estimated_precision.to_bits(),
+                    p.config_index,
+                )
+            })
+            .collect()
+    }
+
+    fn matches_tuples(matches: &[Option<ServeMatch>]) -> Vec<(usize, usize, u64, u64, usize)> {
+        matches
+            .iter()
+            .enumerate()
+            .filter_map(|(r, m)| {
+                m.map(|m| {
+                    (
+                        r,
+                        m.left,
+                        m.distance.to_bits(),
+                        m.precision.to_bits(),
+                        m.config_index,
+                    )
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn replay_of_stored_rights_equals_batch_result() {
+        let (state, result) = learned();
+        assert!(!result.pairs.is_empty(), "test task must join something");
+        let replay = state.join_all();
+        assert_eq!(matches_tuples(&replay), result_tuples(&result));
+    }
+
+    #[test]
+    fn single_query_path_equals_batch_path() {
+        let (state, result) = learned();
+        let mut scratch = QueryScratch::for_state(&state);
+        for (r, raw) in right_table().iter().enumerate() {
+            let got = state.query(raw, &mut scratch);
+            match (&got, &result.assignment[r]) {
+                (None, None) => {}
+                (Some(m), Some(l)) => assert_eq!(m.left, *l, "right {r}"),
+                other => panic!("right {r}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_served_answers() {
+        let (state, result) = learned();
+        let path = temp_path("roundtrip");
+        state.save(&path).unwrap();
+        let loaded = ServingState::load(&path).unwrap();
+        assert_eq!(loaded.num_left(), state.num_left());
+        assert_eq!(loaded.num_right(), state.num_right());
+        assert_eq!(loaded.k(), state.k());
+        assert_eq!(loaded.functions(), state.functions());
+        assert_eq!(loaded.configs(), state.configs());
+        assert_eq!(
+            loaded.estimated_precision().to_bits(),
+            state.estimated_precision().to_bits()
+        );
+        let replay = loaded.join_all();
+        assert_eq!(matches_tuples(&replay), result_tuples(&result));
+        // The reconstructed program prints identically.
+        assert_eq!(
+            serde_json::to_string(&loaded.program()).unwrap(),
+            serde_json::to_string(&result.program).unwrap()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn from_program_matches_from_artifacts_answers() {
+        let (state, result) = learned();
+        let rebuilt = ServingState::from_program(
+            &left_table(),
+            &right_table(),
+            &result.program,
+            &AutoFjOptions::default(),
+            result.estimated_precision,
+            result.estimated_recall,
+        );
+        assert_eq!(rebuilt.k(), state.k());
+        assert_eq!(rebuilt.functions(), state.functions());
+        assert_eq!(rebuilt.configs(), state.configs());
+        let a = state.join_all();
+        let b = rebuilt.join_all();
+        assert_eq!(matches_tuples(&a), matches_tuples(&b));
+    }
+
+    #[test]
+    fn append_equals_rebuild_on_concatenated_table() {
+        let space = JoinFunctionSpace::reduced24();
+        let options = AutoFjOptions::default();
+        let right = right_table();
+        let (base, result) = ServingState::learn(&left_table(), &right[..2], &space, &options);
+        let mut appended = base;
+        appended.append_right(&right[2..4]);
+        appended.append_right(&right[4..]);
+        let rebuilt = ServingState::from_program(
+            &left_table(),
+            &right,
+            &result.program,
+            &options,
+            result.estimated_precision,
+            result.estimated_recall,
+        );
+        assert_eq!(appended.num_right(), rebuilt.num_right());
+        assert_eq!(
+            matches_tuples(&appended.join_all()),
+            matches_tuples(&rebuilt.join_all())
+        );
+        // Appended records are served through the same path as stored ones.
+        let mut scratch = QueryScratch::for_state(&appended);
+        let direct = appended.query(&right[3], &mut scratch);
+        let stored = appended.join_all()[3];
+        assert_eq!(direct, stored);
+    }
+
+    #[test]
+    fn batch_queries_match_sequential_queries() {
+        let (state, _) = learned();
+        let queries: Vec<String> = right_table()
+            .into_iter()
+            .chain(left_table().into_iter().take(10))
+            .chain(["never seen before phrase".to_string()])
+            .collect();
+        let batch = state.query_batch(&queries);
+        let mut scratch = QueryScratch::for_state(&state);
+        let sequential: Vec<Option<ServeMatch>> = queries
+            .iter()
+            .map(|q| state.query(q, &mut scratch))
+            .collect();
+        assert_eq!(batch, sequential);
+    }
+
+    #[test]
+    fn empty_tables_produce_a_loadable_state() {
+        let space = JoinFunctionSpace::reduced24();
+        let options = AutoFjOptions::default();
+        let (state, result) = ServingState::learn(&[], &[], &space, &options);
+        assert_eq!(result.pairs.len(), 0);
+        let path = temp_path("empty");
+        state.save(&path).unwrap();
+        let loaded = ServingState::load(&path).unwrap();
+        let mut scratch = QueryScratch::for_state(&loaded);
+        assert_eq!(loaded.query("anything", &mut scratch), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupted_snapshot_is_rejected() {
+        let (state, _) = learned();
+        let path = temp_path("corrupt");
+        state.save(&path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            ServingState::load(&path),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

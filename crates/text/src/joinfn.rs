@@ -170,8 +170,20 @@ impl JoinFunction {
     /// treated as the reference (`l`) and `right` as the query (`r`), per the
     /// Table 1 footnote (`r ⊆ l`).
     pub fn distance(&self, col: &PreparedColumn, left: usize, right: usize) -> f64 {
-        let lr = col.record(left);
-        let rr = col.record(right);
+        self.distance_between(col, col.record(left), col.record(right))
+    }
+
+    /// Distance between two explicit prepared records, using `col` only for
+    /// its weight tables.  This is how the online query path scores a record
+    /// that is not part of the column (see
+    /// [`PreparedColumn::prepare_query`]); for in-column records it is
+    /// exactly [`Self::distance`].
+    pub fn distance_between(
+        &self,
+        col: &PreparedColumn,
+        lr: &crate::prepared::PreparedRecord,
+        rr: &crate::prepared::PreparedRecord,
+    ) -> f64 {
         let pi = prep_index(self.prep);
         match self.dist {
             DistanceFunction::JaroWinkler => {
@@ -548,6 +560,25 @@ mod tests {
             assert_eq!(row.len(), pairs.len());
             for (&(l, r), &d) in pairs.iter().zip(row) {
                 assert_eq!(d, f.distance(&col, l, r), "{} diverged", f.code());
+            }
+        }
+    }
+
+    #[test]
+    fn distance_between_query_record_matches_in_column_distance() {
+        let col = PreparedColumn::build(&[
+            "2007 LSU Tigers football team",
+            "2007 LSU Tigers football",
+            "Mississippi State Bulldogs",
+        ]);
+        for f in JoinFunctionSpace::full().functions() {
+            for r in 0..col.len() {
+                let q = col.prepare_query(&col.record(r).raw);
+                for l in 0..col.len() {
+                    let via_query = f.distance_between(&col, col.record(l), &q);
+                    let in_column = f.distance(&col, l, r);
+                    assert_eq!(via_query, in_column, "{} diverged", f.code());
+                }
             }
         }
     }

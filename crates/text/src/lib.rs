@@ -26,7 +26,7 @@ pub mod vocab;
 pub mod weights;
 
 pub use joinfn::{DistanceFunction, JoinFunction, JoinFunctionSpace};
-pub use prepared::PreparedColumn;
+pub use prepared::{PreparedColumn, PreparedRecord};
 pub use preprocess::Preprocessing;
 pub use tokenize::Tokenization;
 pub use weights::TokenWeighting;

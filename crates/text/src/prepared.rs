@@ -89,6 +89,61 @@ struct RawPrepared {
 /// peak memory stays close to a fully-sequential build.
 const PREPARE_BATCH: usize = 4096;
 
+/// The pure (vocabulary-free) part of record preparation: pre-processed
+/// strings, character vectors, and embeddings.  Deterministic per record, so
+/// it can run in parallel during builds and be recomputed when a column is
+/// reconstructed from serialized token sets.
+fn prepare_raw(raw: &str) -> RawPrepared {
+    let mut prepped: [String; NUM_PREP] = Default::default();
+    let mut chars: [Vec<char>; NUM_PREP] = Default::default();
+    let mut embeddings = [[0f32; embed::DIM]; NUM_PREP];
+    for p in Preprocessing::ALL {
+        let pi = prep_index(p);
+        let s = p.apply(raw);
+        chars[pi] = s.chars().collect();
+        // Document embedding over space tokens of the preprocessed string
+        // with unit weights (spaCy-style mean vector).
+        embeddings[pi] = embed::embed_document(s.split_whitespace().map(|t| (t, 1.0)));
+        prepped[pi] = s;
+    }
+    RawPrepared {
+        raw: raw.to_string(),
+        strings: prepped,
+        chars,
+        embeddings,
+    }
+}
+
+/// Sequentially intern one prepared record into the shared vocabularies,
+/// registering its document frequencies — the order-sensitive half of the
+/// build, shared by [`PreparedColumn::build`] and
+/// [`PreparedColumn::append_records`].
+fn intern_record(
+    rec: RawPrepared,
+    vocabs: &mut [Vocab; NUM_SCHEMES],
+    scratch: &mut GramScratch,
+    ids: &mut Vec<u32>,
+) -> PreparedRecord {
+    let mut token_sets: [Vec<u32>; NUM_SCHEMES] = Default::default();
+    for p in Preprocessing::ALL {
+        let pi = prep_index(p);
+        for t in Tokenization::ALL {
+            let si = scheme_index(p, t);
+            ids.clear();
+            t.intern_into(&rec.strings[pi], &mut vocabs[si], ids, scratch);
+            vocabs[si].add_document_ids(ids);
+            token_sets[si] = ids.clone();
+        }
+    }
+    PreparedRecord {
+        raw: rec.raw,
+        strings: rec.strings,
+        chars: rec.chars,
+        token_sets,
+        embeddings: rec.embeddings,
+    }
+}
+
 impl PreparedColumn {
     /// Build a prepared column from raw strings.
     ///
@@ -107,49 +162,10 @@ impl PreparedColumn {
         for batch in strings.chunks(PREPARE_BATCH.max(1)) {
             let raw_records: Vec<RawPrepared> = batch
                 .par_iter()
-                .map(|raw| {
-                    let raw = raw.as_ref();
-                    let mut prepped: [String; NUM_PREP] = Default::default();
-                    let mut chars: [Vec<char>; NUM_PREP] = Default::default();
-                    let mut embeddings = [[0f32; embed::DIM]; NUM_PREP];
-                    for p in Preprocessing::ALL {
-                        let pi = prep_index(p);
-                        let s = p.apply(raw);
-                        chars[pi] = s.chars().collect();
-                        // Document embedding over space tokens of the
-                        // preprocessed string with unit weights (spaCy-style
-                        // mean vector).
-                        embeddings[pi] =
-                            embed::embed_document(s.split_whitespace().map(|t| (t, 1.0)));
-                        prepped[pi] = s;
-                    }
-                    RawPrepared {
-                        raw: raw.to_string(),
-                        strings: prepped,
-                        chars,
-                        embeddings,
-                    }
-                })
+                .map(|raw| prepare_raw(raw.as_ref()))
                 .collect();
             for rec in raw_records {
-                let mut token_sets: [Vec<u32>; NUM_SCHEMES] = Default::default();
-                for p in Preprocessing::ALL {
-                    let pi = prep_index(p);
-                    for t in Tokenization::ALL {
-                        let si = scheme_index(p, t);
-                        ids.clear();
-                        t.intern_into(&rec.strings[pi], &mut vocabs[si], &mut ids, &mut scratch);
-                        vocabs[si].add_document_ids(&mut ids);
-                        token_sets[si] = ids.clone();
-                    }
-                }
-                records.push(PreparedRecord {
-                    raw: rec.raw,
-                    strings: rec.strings,
-                    chars: rec.chars,
-                    token_sets,
-                    embeddings: rec.embeddings,
-                });
+                records.push(intern_record(rec, &mut vocabs, &mut scratch, &mut ids));
             }
         }
         let idf_tables = std::array::from_fn(|i| WeightTable::idf(&vocabs[i]));
@@ -159,6 +175,113 @@ impl PreparedColumn {
             vocabs,
             idf_tables,
             equal_tables,
+        }
+    }
+
+    /// Reconstruct a prepared column from serialized parts: the raw strings,
+    /// the per-record token-id sets (indexed by [`scheme_index`]), and the
+    /// scheme vocabularies.  The pure per-record work (pre-processing,
+    /// character decomposition, embeddings) is recomputed in parallel — it is
+    /// a deterministic function of the raw string — but no tokenization or
+    /// interning happens: the stored id sets are attached verbatim and the
+    /// weight tables are re-derived from the stored vocabularies, so the
+    /// result is indistinguishable from the column that was serialized.
+    ///
+    /// # Panics
+    /// Panics if `raws` and `token_sets` disagree in length.
+    pub fn from_raw_parts(
+        raws: Vec<String>,
+        token_sets: Vec<[Vec<u32>; NUM_SCHEMES]>,
+        vocabs: [Vocab; NUM_SCHEMES],
+    ) -> Self {
+        assert_eq!(
+            raws.len(),
+            token_sets.len(),
+            "one token-set bundle per record required"
+        );
+        let prepped: Vec<RawPrepared> = raws.par_iter().map(|raw| prepare_raw(raw)).collect();
+        let records = prepped
+            .into_iter()
+            .zip(token_sets)
+            .map(|(rec, sets)| PreparedRecord {
+                raw: rec.raw,
+                strings: rec.strings,
+                chars: rec.chars,
+                token_sets: sets,
+                embeddings: rec.embeddings,
+            })
+            .collect();
+        let idf_tables = std::array::from_fn(|i| WeightTable::idf(&vocabs[i]));
+        let equal_tables = std::array::from_fn(|i| WeightTable::equal(vocabs[i].len()));
+        Self {
+            records,
+            vocabs,
+            idf_tables,
+            equal_tables,
+        }
+    }
+
+    /// Append records to the column, extending the shared vocabularies and
+    /// document frequencies exactly as [`Self::build`] would have: the state
+    /// after `build(a)` + `append_records(b)` is byte-identical to
+    /// `build(a ++ b)` (the parallel phase is pure and interning is
+    /// sequential in record order, so batch boundaries cannot matter).
+    /// Weight tables are re-derived at the end since document frequencies
+    /// shift.
+    pub fn append_records<S: AsRef<str> + Sync>(&mut self, strings: &[S]) {
+        let mut scratch = GramScratch::default();
+        let mut ids: Vec<u32> = Vec::new();
+        self.records.reserve(strings.len());
+        for batch in strings.chunks(PREPARE_BATCH.max(1)) {
+            let raw_records: Vec<RawPrepared> = batch
+                .par_iter()
+                .map(|raw| prepare_raw(raw.as_ref()))
+                .collect();
+            for rec in raw_records {
+                self.records
+                    .push(intern_record(rec, &mut self.vocabs, &mut scratch, &mut ids));
+            }
+        }
+        self.idf_tables = std::array::from_fn(|i| WeightTable::idf(&self.vocabs[i]));
+        self.equal_tables = std::array::from_fn(|i| WeightTable::equal(self.vocabs[i].len()));
+    }
+
+    /// Prepare a query record against this column's *frozen* vocabularies:
+    /// token sets are produced by lookup only (the vocabularies never grow,
+    /// so concurrent readers are safe), with unknown tokens mapped to
+    /// deterministic per-scheme overflow ids `vocab.len() + k` (see
+    /// [`Tokenization::lookup_into_with_overflow`]).  Overflow ids are out of
+    /// range for every weight table, which fall back to weight `1.0`, and can
+    /// never collide with an interned id — so a query whose tokens are all
+    /// known produces exactly the token sets a batch build would have.
+    pub fn prepare_query(&self, raw: &str) -> PreparedRecord {
+        let rec = prepare_raw(raw);
+        let mut token_sets: [Vec<u32>; NUM_SCHEMES] = Default::default();
+        let mut scratch = GramScratch::default();
+        let mut overflow: Vec<String> = Vec::new();
+        for p in Preprocessing::ALL {
+            let pi = prep_index(p);
+            for t in Tokenization::ALL {
+                let si = scheme_index(p, t);
+                let mut ids = Vec::new();
+                t.lookup_into_with_overflow(
+                    &rec.strings[pi],
+                    &self.vocabs[si],
+                    &mut ids,
+                    &mut scratch,
+                    &mut overflow,
+                );
+                ids.sort_unstable();
+                ids.dedup();
+                token_sets[si] = ids;
+            }
+        }
+        PreparedRecord {
+            raw: rec.raw,
+            strings: rec.strings,
+            chars: rec.chars,
+            token_sets,
+            embeddings: rec.embeddings,
         }
     }
 
@@ -185,6 +308,12 @@ impl PreparedColumn {
     /// The vocabulary of a `(pre-processing, tokenization)` scheme.
     pub fn vocab(&self, p: Preprocessing, t: Tokenization) -> &Vocab {
         &self.vocabs[scheme_index(p, t)]
+    }
+
+    /// The vocabulary at a raw [`scheme_index`] — the serialization-side
+    /// accessor for iterating all `NUM_SCHEMES` vocabularies in id order.
+    pub fn vocab_by_scheme(&self, si: usize) -> &Vocab {
+        &self.vocabs[si]
     }
 
     /// The weight table for a scheme under a weighting option.
@@ -263,6 +392,99 @@ mod tests {
     fn empty_column_is_supported() {
         let col = PreparedColumn::build::<&str>(&[]);
         assert!(col.is_empty());
+    }
+
+    fn columns_equal(a: &PreparedColumn, b: &PreparedColumn) -> bool {
+        if a.len() != b.len() {
+            return false;
+        }
+        for (ra, rb) in a.records().iter().zip(b.records()) {
+            if ra.raw != rb.raw
+                || ra.strings != rb.strings
+                || ra.chars != rb.chars
+                || ra.token_sets != rb.token_sets
+                || ra.embeddings != rb.embeddings
+            {
+                return false;
+            }
+        }
+        for si in 0..NUM_SCHEMES {
+            let (va, vb) = (a.vocab_by_scheme(si), b.vocab_by_scheme(si));
+            if va.len() != vb.len() || va.num_docs() != vb.num_docs() {
+                return false;
+            }
+            for id in 0..va.len() as u32 {
+                if va.token(id) != vb.token(id) || va.doc_freq(id) != vb.doc_freq(id) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn append_records_matches_full_build() {
+        let all = [
+            "2007 LSU Tigers football team",
+            "2008 LSU Tigers football team",
+            "2007 Wisconsin Badgers football team",
+            "totally new words here",
+            "",
+        ];
+        let full = PreparedColumn::build(&all);
+        let mut incremental = PreparedColumn::build(&all[..2]);
+        incremental.append_records(&all[2..4]);
+        incremental.append_records(&all[4..]);
+        assert!(columns_equal(&full, &incremental));
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips() {
+        let col = sample();
+        let raws: Vec<String> = col.records().iter().map(|r| r.raw.clone()).collect();
+        let sets: Vec<[Vec<u32>; NUM_SCHEMES]> =
+            col.records().iter().map(|r| r.token_sets.clone()).collect();
+        let vocabs: [Vocab; NUM_SCHEMES] = std::array::from_fn(|si| {
+            let v = col.vocab_by_scheme(si);
+            Vocab::from_parts(
+                (0..v.len() as u32)
+                    .map(|id| v.token(id).to_string())
+                    .collect(),
+                (0..v.len() as u32).map(|id| v.doc_freq(id)).collect(),
+                v.num_docs(),
+            )
+        });
+        let rebuilt = PreparedColumn::from_raw_parts(raws, sets, vocabs);
+        assert!(columns_equal(&col, &rebuilt));
+    }
+
+    #[test]
+    fn prepare_query_matches_batch_for_known_records() {
+        let col = sample();
+        for r in col.records() {
+            let q = col.prepare_query(&r.raw);
+            assert_eq!(q.token_sets, r.token_sets, "{:?}", r.raw);
+            assert_eq!(q.strings, r.strings);
+            assert_eq!(q.chars, r.chars);
+        }
+    }
+
+    #[test]
+    fn prepare_query_overflow_ids_are_out_of_vocab_range() {
+        let col = sample();
+        let q = col.prepare_query("zzz qqq unknownworda");
+        for p in Preprocessing::ALL {
+            for t in Tokenization::ALL {
+                let si = scheme_index(p, t);
+                let vocab_len = col.vocab_by_scheme(si).len() as u32;
+                let set = &q.token_sets[si];
+                assert!(set.windows(2).all(|w| w[0] < w[1]), "sorted + deduped");
+                assert!(
+                    set.iter().any(|&id| id >= vocab_len),
+                    "query with unknown tokens must produce overflow ids ({si})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -59,6 +59,51 @@ impl Tokenization {
             Tokenization::Gram3 => qgram_intern_into(input, 3, vocab, out, scratch),
         }
     }
+
+    /// Tokenize `input` against a *frozen* vocabulary: known tokens map to
+    /// their interned ids, unknown tokens receive deterministic overflow ids
+    /// `vocab.len() + k` where `k` is the first-appearance rank of the
+    /// distinct unknown token within this call (tracked in `overflow`, which
+    /// is cleared first).  The vocabulary is never grown, so this is safe to
+    /// run from many readers concurrently — the query-side counterpart of
+    /// [`Self::intern_into`].  Overflow ids are stable for a given input but
+    /// have no meaning across calls; they exist so that two unknown tokens
+    /// compare equal within one record and unequal to everything interned.
+    pub fn lookup_into_with_overflow(
+        &self,
+        input: &str,
+        vocab: &Vocab,
+        out: &mut Vec<u32>,
+        scratch: &mut GramScratch,
+        overflow: &mut Vec<String>,
+    ) {
+        overflow.clear();
+        let base = vocab.len() as u32;
+        let mut lookup = |token: &str, out: &mut Vec<u32>| {
+            if let Some(id) = vocab.get(token) {
+                out.push(id);
+                return;
+            }
+            let slot = match overflow.iter().position(|t| t == token) {
+                Some(pos) => pos as u32,
+                None => {
+                    overflow.push(token.to_string());
+                    (overflow.len() - 1) as u32
+                }
+            };
+            out.push(base + slot);
+        };
+        match self {
+            Tokenization::Space => {
+                for word in input.split_whitespace() {
+                    lookup(word, out);
+                }
+            }
+            Tokenization::Gram3 => {
+                for_each_qgram(input, 3, scratch, |gram| lookup(gram, out));
+            }
+        }
+    }
 }
 
 /// Reusable buffers for allocation-free q-gram extraction: the normalized
@@ -258,6 +303,46 @@ mod tests {
                 assert_eq!(vocab.token(*id), s);
             }
         }
+    }
+
+    #[test]
+    fn lookup_with_overflow_matches_interning_on_known_input() {
+        for t in Tokenization::ALL {
+            let mut vocab = Vocab::new();
+            let mut scratch = GramScratch::default();
+            let input = "2007 LSU tigers  football";
+            let mut interned = Vec::new();
+            t.intern_into(input, &mut vocab, &mut interned, &mut scratch);
+            let before = vocab.len();
+            let mut looked_up = Vec::new();
+            let mut overflow = Vec::new();
+            t.lookup_into_with_overflow(input, &vocab, &mut looked_up, &mut scratch, &mut overflow);
+            assert_eq!(looked_up, interned);
+            assert!(overflow.is_empty());
+            assert_eq!(vocab.len(), before, "lookup must not grow the vocab");
+        }
+    }
+
+    #[test]
+    fn lookup_with_overflow_assigns_stable_ids_to_unknowns() {
+        let mut vocab = Vocab::new();
+        let mut scratch = GramScratch::default();
+        let mut ids = Vec::new();
+        Tokenization::Space.intern_into("alpha beta", &mut vocab, &mut ids, &mut scratch);
+        let base = vocab.len() as u32;
+        let mut out = Vec::new();
+        let mut overflow = Vec::new();
+        Tokenization::Space.lookup_into_with_overflow(
+            "gamma alpha delta gamma",
+            &vocab,
+            &mut out,
+            &mut scratch,
+            &mut overflow,
+        );
+        // gamma -> base+0 (first unknown), delta -> base+1, repeats reuse ids.
+        assert_eq!(out, vec![base, vocab.get("alpha").unwrap(), base + 1, base]);
+        assert_eq!(overflow, vec!["gamma".to_string(), "delta".to_string()]);
+        assert_eq!(vocab.len() as u32, base, "lookup must not grow the vocab");
     }
 
     #[test]

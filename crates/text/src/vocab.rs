@@ -23,6 +23,33 @@ impl Vocab {
         Self::default()
     }
 
+    /// Rebuild a vocabulary from its serialized parts: the token list in id
+    /// order, the per-id document frequencies, and the document count.  The
+    /// token→id map is reconstructed, so the result behaves exactly like the
+    /// vocabulary that produced the parts.
+    ///
+    /// # Panics
+    /// Panics if `tokens` and `doc_freq` disagree in length or `tokens`
+    /// contains duplicates (ids would no longer round-trip).
+    pub fn from_parts(tokens: Vec<String>, doc_freq: Vec<u32>, num_docs: u32) -> Self {
+        assert_eq!(
+            tokens.len(),
+            doc_freq.len(),
+            "token list and doc-freq list must match"
+        );
+        let mut ids = HashMap::with_capacity(tokens.len());
+        for (id, token) in tokens.iter().enumerate() {
+            let previous = ids.insert(token.clone(), id as u32);
+            assert!(previous.is_none(), "duplicate token in serialized vocab");
+        }
+        Self {
+            ids,
+            tokens,
+            doc_freq,
+            num_docs,
+        }
+    }
+
     /// Number of distinct tokens seen so far.
     pub fn len(&self) -> usize {
         self.tokens.len()

@@ -437,7 +437,7 @@ fn gen_deserialize(item: &Item) -> String {
                             )
                         }
                     };
-                    Some(format!("{vn:?} => {build}"))
+                    Some(format!("{vn:?} => return {build}"))
                 })
                 .collect();
             let mut body = String::new();

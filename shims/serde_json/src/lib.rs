@@ -433,6 +433,34 @@ mod tests {
     }
 
     #[test]
+    fn derived_enum_variants_roundtrip() {
+        // Unit variants serialize as bare strings; tuple and struct variants
+        // as single-key objects.  The tagged arms regressed once (missing
+        // `return` in the generated match), so cover every variant shape.
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        enum Shape {
+            Unit,
+            Tuple(u32, String),
+            Named { x: f64, tag: String },
+        }
+        let shapes = vec![
+            Shape::Unit,
+            Shape::Tuple(7, "seven".into()),
+            Shape::Named {
+                x: 0.5,
+                tag: "half".into(),
+            },
+        ];
+        for shape in shapes {
+            let json = to_string(&shape).unwrap();
+            let back: Shape = from_str(&json).unwrap();
+            assert_eq!(back, shape, "{json}");
+        }
+        assert!(from_str::<Shape>("\"NoSuchVariant\"").is_err());
+        assert!(from_str::<Shape>("{\"Tuple\":[1]}").is_err());
+    }
+
+    #[test]
     fn nonfinite_floats_become_null() {
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
         let back: Option<f64> = from_str("null").unwrap();

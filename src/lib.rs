@@ -34,6 +34,8 @@ pub use autofj_block as block;
 pub use autofj_core as core;
 pub use autofj_datagen as datagen;
 pub use autofj_eval as eval;
+pub use autofj_serve as serve;
+pub use autofj_store as store;
 pub use autofj_text as text;
 
 /// Crate version of the umbrella package.
