@@ -34,7 +34,9 @@
 //! `greedy::run_greedy` and the `run_greedy_reference` equivalence tests.
 
 use crate::options::BallMode;
-use crate::oracle::DistanceOracle;
+use crate::oracle::{DistanceOracle, EvalGroup};
+use crate::timing::{self, Phase};
+use autofj_text::kernel::KernelFamily;
 use rayon::prelude::*;
 
 /// Tolerance for neighbours sitting exactly on the ball boundary; see
@@ -122,16 +124,7 @@ impl FunctionStats {
             })
             .collect();
 
-        let mut sorted_rights: Vec<(u32, f32)> = nearest
-            .iter()
-            .enumerate()
-            .filter_map(|(r, n)| n.map(|(_, d)| (r as u32, d)))
-            .collect();
-        sorted_rights.sort_unstable_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.0.cmp(&b.0))
-        });
+        let sorted_rights = Self::sort_rights(&nearest);
 
         // L–L neighbourhood distances, only for the left records that matter
         // (those appearing as someone's nearest neighbour).
@@ -169,6 +162,22 @@ impl FunctionStats {
 
         let thresholds = pick_thresholds(&sorted_rights, num_thresholds);
         Self::from_raw(nearest, sorted_rights, ll_sorted, thresholds)
+    }
+
+    /// Sort the joined right records of a `nearest` table by ascending
+    /// distance (ties broken by right index for determinism).
+    fn sort_rights(nearest: &[Option<(u32, f32)>]) -> Vec<(u32, f32)> {
+        let mut sorted_rights: Vec<(u32, f32)> = nearest
+            .iter()
+            .enumerate()
+            .filter_map(|(r, n)| n.map(|(_, d)| (r as u32, d)))
+            .collect();
+        sorted_rights.sort_unstable_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.0.cmp(&b.0))
+        });
+        sorted_rights
     }
 
     /// Assemble statistics from their raw parts, computing the derived
@@ -260,6 +269,98 @@ impl FunctionStats {
     }
 }
 
+/// Build the statistics of every member of one [`EvalGroup`] together,
+/// sharing the per-pair evaluation work (one merge walk serves all set
+/// distances of a scheme).
+///
+/// Structure and collection order mirror [`FunctionStats::build`] exactly —
+/// parallel map over right records (nearest scan) and over the union of
+/// needed left records (neighbourhood scan), results collected in input
+/// order — so every member's output is byte-identical to a solo build at any
+/// thread count.
+fn build_group_stats<O: DistanceOracle>(
+    group: &EvalGroup,
+    oracle: &O,
+    lr_candidates: &[Vec<usize>],
+    ll_candidates: &[Vec<usize>],
+    num_thresholds: usize,
+) -> Vec<FunctionStats> {
+    let k = group.members.len();
+    let num_rows = oracle.num_right().min(lr_candidates.len());
+    let rows: Vec<Vec<Option<(u32, f32)>>> = (0..num_rows)
+        .into_par_iter()
+        .with_min_len(64)
+        .map(|r| {
+            let mut out = vec![None; k];
+            oracle.group_nearest(group, r, &lr_candidates[r], &mut out);
+            out
+        })
+        .collect();
+    let mut nearest_per: Vec<Vec<Option<(u32, f32)>>> =
+        (0..k).map(|_| Vec::with_capacity(num_rows)).collect();
+    for row in rows {
+        for (m, v) in row.into_iter().enumerate() {
+            nearest_per[m].push(v);
+        }
+    }
+
+    // Union of left records that are someone's nearest under any member,
+    // with per-member wanted flags so members only pay for their own rows.
+    let num_left = oracle.num_left();
+    let mut wanted: Vec<Vec<bool>> = vec![vec![false; k]; num_left];
+    for (m, nearest) in nearest_per.iter().enumerate() {
+        for n in nearest.iter().flatten() {
+            wanted[n.0 as usize][m] = true;
+        }
+    }
+    let keys: Vec<u32> = (0..num_left as u32)
+        .filter(|&l| wanted[l as usize].iter().any(|&w| w))
+        .collect();
+    let neighbourhoods: Vec<Vec<Vec<f32>>> = keys
+        .par_iter()
+        .with_min_len(16)
+        .map(|&l| {
+            let l = l as usize;
+            let mut out: Vec<Vec<f32>> = vec![Vec::new(); k];
+            if let Some(cands) = ll_candidates.get(l) {
+                oracle.group_ll_distances(group, l, cands, &wanted[l], &mut out);
+            }
+            for v in &mut out {
+                v.retain(|d| d.is_finite());
+                v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+            }
+            out
+        })
+        .collect();
+    let mut ll_per: Vec<Vec<Vec<f32>>> = (0..k).map(|_| vec![Vec::new(); num_left]).collect();
+    for (&l, nb) in keys.iter().zip(neighbourhoods) {
+        for (m, v) in nb.into_iter().enumerate() {
+            ll_per[m][l as usize] = v;
+        }
+    }
+
+    nearest_per
+        .into_iter()
+        .zip(ll_per)
+        .map(|(nearest, ll_sorted)| {
+            let sorted_rights = FunctionStats::sort_rights(&nearest);
+            let thresholds = pick_thresholds(&sorted_rights, num_thresholds);
+            FunctionStats::from_raw(nearest, sorted_rights, ll_sorted, thresholds)
+        })
+        .collect()
+}
+
+/// The nested timing phase attributing pre-compute time to a kernel family.
+fn family_phase(family: KernelFamily) -> Phase {
+    match family {
+        KernelFamily::Edit => Phase::PrecomputeEdit,
+        KernelFamily::Jaro => Phase::PrecomputeJaro,
+        KernelFamily::Set => Phase::PrecomputeSet,
+        KernelFamily::Hybrid => Phase::PrecomputeHybrid,
+        KernelFamily::Embed => Phase::PrecomputeEmbed,
+    }
+}
+
 /// Pick up to `num_thresholds` candidate thresholds from the distribution of
 /// nearest-neighbour distances: the unique distance values at evenly spaced
 /// quantiles (always including the smallest and largest).
@@ -292,43 +393,60 @@ pub struct Precompute {
 }
 
 impl Precompute {
-    /// Build the statistics for every function, in parallel.
+    /// Build the statistics for every function by iterating the oracle's
+    /// [`EvalGroup`]s — functions sharing one kernel evaluation (e.g. all set
+    /// distances of a tokenization scheme reading one merge walk) are built
+    /// together, then scattered back into function order.
     ///
     /// Two parallelization strategies produce the same result; which one is
     /// faster depends on the table size.  On large tables the work *within*
-    /// one function dominates and functions have wildly different unit costs
-    /// (an `O(len²)` edit-distance DP vs an interned-set merge walk), so a
-    /// chunk-of-functions split leaves most workers idle behind the chunk
-    /// that drew the char-based functions; building functions one after
-    /// another with record-parallel inner loops keeps every chunk the same
-    /// shape.  On small tables the inner loops are too short to amortize a
-    /// fork, so the function-level split wins.  Both orders compute every
-    /// `FunctionStats` independently and collect in function order, so the
-    /// choice (and the thread count) never changes a byte of the output.
+    /// one group dominates and groups have wildly different unit costs (an
+    /// edit-distance bit-vector sweep vs an interned-set merge walk), so a
+    /// chunk-of-groups split leaves most workers idle behind the chunk that
+    /// drew the char-based kernels; building groups one after another with
+    /// record-parallel inner loops keeps every chunk the same shape — and
+    /// lets each group's wall time be attributed to its kernel family
+    /// (`precompute/edit`, `precompute/set`, ...).  On small tables the inner
+    /// loops are too short to amortize a fork, so the group-level split wins
+    /// (no family breakdown there — the spans would overlap).  Both orders
+    /// compute every group independently and scatter in function order, so
+    /// the choice (and the thread count) never changes a byte of the output.
     pub fn build<O: DistanceOracle>(
         oracle: &O,
         lr_candidates: &[Vec<usize>],
         ll_candidates: &[Vec<usize>],
         num_thresholds: usize,
     ) -> Self {
-        /// Below this many right records the per-function inner loops are too
-        /// short to be worth forking, so functions are built in parallel
+        /// Below this many right records the per-group inner loops are too
+        /// short to be worth forking, so groups are built in parallel
         /// instead (the pre-PR6 strategy).
         const INNER_PARALLEL_MIN_RIGHTS: usize = 2048;
-        let functions: Vec<FunctionStats> = if oracle.num_right() >= INNER_PARALLEL_MIN_RIGHTS {
-            (0..oracle.num_functions())
-                .map(|f| {
-                    FunctionStats::build(f, oracle, lr_candidates, ll_candidates, num_thresholds)
+        let groups = oracle.eval_groups();
+        let built: Vec<Vec<FunctionStats>> = if oracle.num_right() >= INNER_PARALLEL_MIN_RIGHTS {
+            groups
+                .iter()
+                .map(|g| {
+                    let _t = g.family.map(|fam| timing::scoped(family_phase(fam)));
+                    build_group_stats(g, oracle, lr_candidates, ll_candidates, num_thresholds)
                 })
                 .collect()
         } else {
-            (0..oracle.num_functions())
-                .into_par_iter()
-                .map(|f| {
-                    FunctionStats::build(f, oracle, lr_candidates, ll_candidates, num_thresholds)
-                })
+            groups
+                .par_iter()
+                .map(|g| build_group_stats(g, oracle, lr_candidates, ll_candidates, num_thresholds))
                 .collect()
         };
+        let mut functions: Vec<Option<FunctionStats>> =
+            (0..oracle.num_functions()).map(|_| None).collect();
+        for (g, stats) in groups.iter().zip(built) {
+            for (&f_idx, s) in g.members.iter().zip(stats) {
+                functions[f_idx] = Some(s);
+            }
+        }
+        let functions = functions
+            .into_iter()
+            .map(|s| s.expect("eval groups must cover every function"))
+            .collect();
         Self {
             functions,
             num_right: oracle.num_right(),

@@ -13,11 +13,32 @@
 //!   ([`MultiColumnDistanceCache`]) is built once and reused across the many
 //!   weight vectors Algorithm 3 tries.
 
+use autofj_text::kernel::{plan_kernel_groups, with_scratch, KernelFamily, KernelGroup};
 use autofj_text::{JoinFunction, PreparedColumn};
 use rayon::prelude::*;
 use std::collections::HashMap;
 
+/// An evaluation group advertised by an oracle: functions whose distances
+/// the oracle can produce together in one pass per pair (e.g. all set
+/// distances derived from one merge walk), plus the kernel family serving
+/// them for timing attribution.
+#[derive(Debug, Clone)]
+pub struct EvalGroup {
+    /// The kernel family serving this group, when the oracle knows it.
+    pub family: Option<KernelFamily>,
+    /// Function indices of the members, in function order.
+    pub members: Vec<usize>,
+    /// Oracle-private handle (e.g. an index into a kernel plan); opaque to
+    /// callers, round-tripped back into the `group_*` methods.
+    pub plan_idx: usize,
+}
+
 /// Pairwise distances under an indexed family of join functions.
+///
+/// The `group_*` methods are the batched surface the estimator drives; their
+/// default implementations replicate the per-pair `lr`/`ll` calls exactly
+/// (byte-identical results), so existing oracles keep their behavior while
+/// [`SingleColumnOracle`] overrides them with shared-pass kernels.
 pub trait DistanceOracle: Sync {
     /// Number of join functions.
     fn num_functions(&self) -> usize;
@@ -29,6 +50,66 @@ pub trait DistanceOracle: Sync {
     fn lr(&self, f: usize, l: usize, r: usize) -> f64;
     /// Distance between left records `l1` and `l2` under function `f`.
     fn ll(&self, f: usize, l1: usize, l2: usize) -> f64;
+
+    /// The oracle's evaluation groups, covering every function exactly once
+    /// in function order.  Default: one group per function, unknown family.
+    fn eval_groups(&self) -> Vec<EvalGroup> {
+        (0..self.num_functions())
+            .map(|f| EvalGroup {
+                family: None,
+                members: vec![f],
+                plan_idx: f,
+            })
+            .collect()
+    }
+
+    /// For every member of `group`, the nearest left candidate of right
+    /// record `r` among `candidates` and its `f32` distance — first
+    /// strictly-smaller candidate wins ties, non-finite distances are
+    /// skipped (exactly the estimator's historical scan).  `out` has one
+    /// slot per member, aligned with `group.members`.
+    fn group_nearest(
+        &self,
+        group: &EvalGroup,
+        r: usize,
+        candidates: &[usize],
+        out: &mut [Option<(u32, f32)>],
+    ) {
+        for (slot, &f) in out.iter_mut().zip(&group.members) {
+            let mut best: Option<(u32, f32)> = None;
+            for &l in candidates {
+                let d = self.lr(f, l, r) as f32;
+                if !d.is_finite() {
+                    continue;
+                }
+                match best {
+                    Some((_, bd)) if d >= bd => {}
+                    _ => best = Some((l as u32, d)),
+                }
+            }
+            *slot = best;
+        }
+    }
+
+    /// For each member of `group` flagged in `wanted`, push the raw `f32`
+    /// distances from left record `l` to every candidate (candidate order,
+    /// non-finite values included — callers filter) into the member's `out`
+    /// vector.  Unwanted members' vectors are left untouched.
+    fn group_ll_distances(
+        &self,
+        group: &EvalGroup,
+        l: usize,
+        candidates: &[usize],
+        wanted: &[bool],
+        out: &mut [Vec<f32>],
+    ) {
+        for ((slot, &f), &w) in out.iter_mut().zip(&group.members).zip(wanted) {
+            if !w {
+                continue;
+            }
+            slot.extend(candidates.iter().map(|&l2| self.ll(f, l, l2) as f32));
+        }
+    }
 }
 
 /// Oracle for single-column tables: one prepared column holding the left
@@ -38,6 +119,9 @@ pub struct SingleColumnOracle {
     column: PreparedColumn,
     num_left: usize,
     num_right: usize,
+    /// Kernel plan over `functions`: set/hybrid functions of one scheme
+    /// share a merge walk, char functions get threshold-aware kernels.
+    groups: Vec<KernelGroup>,
 }
 
 impl SingleColumnOracle {
@@ -51,6 +135,7 @@ impl SingleColumnOracle {
             column: PreparedColumn::build(&all),
             num_left: left.len(),
             num_right: right.len(),
+            groups: plan_kernel_groups(functions),
         }
     }
 
@@ -81,6 +166,92 @@ impl DistanceOracle for SingleColumnOracle {
     }
     fn ll(&self, f: usize, l1: usize, l2: usize) -> f64 {
         self.functions[f].distance(&self.column, l1, l2)
+    }
+
+    fn eval_groups(&self) -> Vec<EvalGroup> {
+        self.groups
+            .iter()
+            .enumerate()
+            .map(|(gi, g)| EvalGroup {
+                family: Some(g.family),
+                members: g.members.clone(),
+                plan_idx: gi,
+            })
+            .collect()
+    }
+
+    /// Kernel-backed nearest scan.  Single-member char groups pass the
+    /// running best distance down as the kernel bound: the kernel returns
+    /// the exact distance whenever it could beat (or tie) the incumbent and
+    /// otherwise some value that still loses the `d >= best` comparison, so
+    /// the selected neighbour and its distance are byte-identical to the
+    /// unbounded scan.  Multi-member groups share one merge walk per pair.
+    fn group_nearest(
+        &self,
+        group: &EvalGroup,
+        r: usize,
+        candidates: &[usize],
+        out: &mut [Option<(u32, f32)>],
+    ) {
+        let g = &self.groups[group.plan_idx];
+        let k = g.members.len();
+        debug_assert_eq!(out.len(), k);
+        let col = &self.column;
+        let rr = col.record(self.num_left + r);
+        with_scratch(|scratch| {
+            // One small buffer per right record (not per pair).
+            let mut buf = vec![0.0f64; k];
+            let buf = buf.as_mut_slice();
+            for &l in candidates {
+                let bound = match (k, &out[0]) {
+                    (1, Some((_, bd))) => Some(*bd as f64),
+                    _ => None,
+                };
+                g.eval_records_into(col, scratch, col.record(l), rr, bound, buf);
+                for (slot, &d64) in out.iter_mut().zip(buf.iter()) {
+                    let d = d64 as f32;
+                    if !d.is_finite() {
+                        continue;
+                    }
+                    match slot {
+                        Some((_, bd)) if d >= *bd => {}
+                        _ => *slot = Some((l as u32, d)),
+                    }
+                }
+            }
+        });
+    }
+
+    fn group_ll_distances(
+        &self,
+        group: &EvalGroup,
+        l: usize,
+        candidates: &[usize],
+        wanted: &[bool],
+        out: &mut [Vec<f32>],
+    ) {
+        let g = &self.groups[group.plan_idx];
+        let k = g.members.len();
+        debug_assert_eq!(out.len(), k);
+        if !wanted.iter().any(|&w| w) {
+            return;
+        }
+        let col = &self.column;
+        let lrec = col.record(l);
+        with_scratch(|scratch| {
+            let mut buf = vec![0.0f64; k];
+            let buf = buf.as_mut_slice();
+            for &l2 in candidates {
+                // Ball rows must stay exact (they are serialized by the
+                // snapshot store), so no bound here.
+                g.eval_records_into(col, scratch, lrec, col.record(l2), None, buf);
+                for ((slot, &w), &d) in out.iter_mut().zip(wanted).zip(buf.iter()) {
+                    if w {
+                        slot.push(d as f32);
+                    }
+                }
+            }
+        });
     }
 }
 

@@ -39,6 +39,16 @@ pub enum Phase {
     NegativeRules,
     /// Distance + precision pre-computation (Algorithm 1, lines 3–4).
     Precompute,
+    /// Pre-compute share spent in the bit-parallel / banded edit kernels.
+    PrecomputeEdit,
+    /// Pre-compute share spent in the Jaro-Winkler kernels.
+    PrecomputeJaro,
+    /// Pre-compute share spent in the merge-walk set kernels.
+    PrecomputeSet,
+    /// Pre-compute share spent in the containment-hybrid kernels.
+    PrecomputeHybrid,
+    /// Pre-compute share spent in the embedding-distance kernels.
+    PrecomputeEmbed,
     /// Greedy rounds: (re-)scoring candidate deltas against the current
     /// assignment.
     GreedyScore,
@@ -52,11 +62,19 @@ pub enum Phase {
 }
 
 /// All phases, in execution order (also the slot order of the accumulators).
-pub const ALL_PHASES: [Phase; 8] = [
+/// The `precompute/<family>` phases are nested inside `precompute`: they
+/// break the same wall-clock span down by kernel family (the breakdown only
+/// accumulates on the sequential large-table path, where it is well-defined).
+pub const ALL_PHASES: [Phase; 13] = [
     Phase::Prepare,
     Phase::Block,
     Phase::NegativeRules,
     Phase::Precompute,
+    Phase::PrecomputeEdit,
+    Phase::PrecomputeJaro,
+    Phase::PrecomputeSet,
+    Phase::PrecomputeHybrid,
+    Phase::PrecomputeEmbed,
     Phase::GreedyScore,
     Phase::GreedyArgmax,
     Phase::ConflictResolve,
@@ -71,6 +89,11 @@ impl Phase {
             Phase::Block => "block",
             Phase::NegativeRules => "negative_rules",
             Phase::Precompute => "precompute",
+            Phase::PrecomputeEdit => "precompute/edit",
+            Phase::PrecomputeJaro => "precompute/jaro",
+            Phase::PrecomputeSet => "precompute/set",
+            Phase::PrecomputeHybrid => "precompute/hybrid",
+            Phase::PrecomputeEmbed => "precompute/embed",
             Phase::GreedyScore => "greedy_round/score",
             Phase::GreedyArgmax => "greedy_round/argmax",
             Phase::ConflictResolve => "conflict_resolve",
@@ -84,10 +107,15 @@ impl Phase {
             Phase::Block => 1,
             Phase::NegativeRules => 2,
             Phase::Precompute => 3,
-            Phase::GreedyScore => 4,
-            Phase::GreedyArgmax => 5,
-            Phase::ConflictResolve => 6,
-            Phase::Assemble => 7,
+            Phase::PrecomputeEdit => 4,
+            Phase::PrecomputeJaro => 5,
+            Phase::PrecomputeSet => 6,
+            Phase::PrecomputeHybrid => 7,
+            Phase::PrecomputeEmbed => 8,
+            Phase::GreedyScore => 9,
+            Phase::GreedyArgmax => 10,
+            Phase::ConflictResolve => 11,
+            Phase::Assemble => 12,
         }
     }
 }
@@ -187,6 +215,11 @@ mod tests {
                 "block",
                 "negative_rules",
                 "precompute",
+                "precompute/edit",
+                "precompute/jaro",
+                "precompute/set",
+                "precompute/hybrid",
+                "precompute/embed",
                 "greedy_round/score",
                 "greedy_round/argmax",
                 "conflict_resolve",

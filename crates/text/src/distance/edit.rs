@@ -1,46 +1,44 @@
 //! Levenshtein (edit) distance, raw and normalized.
+//!
+//! These are compatibility entry points for the experiment bins and the
+//! baselines crate.  They all route through the bit-parallel kernel in
+//! [`super::myers`]; the original scalar DP lives in [`super::reference`]
+//! and is exercised against the kernel by the `kernel_reference` proptests.
+
+use super::myers::{levenshtein_ids, EditScratch};
+
+fn ids(s: &str) -> Vec<u32> {
+    s.chars().map(|c| c as u32).collect()
+}
 
 /// Raw Levenshtein distance between two strings, counted in Unicode scalar
 /// values (insertions, deletions, substitutions all cost 1).
 pub fn levenshtein(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    levenshtein_chars(&a, &b)
+    levenshtein_ids(&ids(a), &ids(b), &mut EditScratch::default())
 }
 
 /// Levenshtein distance over pre-collected character slices.
+#[doc(hidden)]
 pub fn levenshtein_chars(a: &[char], b: &[char]) -> usize {
-    if a.is_empty() {
-        return b.len();
-    }
-    if b.is_empty() {
-        return a.len();
-    }
-    // Single-row dynamic program; keep the shorter string in the inner loop
-    // to minimize memory.
-    let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
-    let mut prev: Vec<usize> = (0..=short.len()).collect();
-    let mut curr: Vec<usize> = vec![0; short.len() + 1];
-    for (i, &lc) in long.iter().enumerate() {
-        curr[0] = i + 1;
-        for (j, &sc) in short.iter().enumerate() {
-            let cost = usize::from(lc != sc);
-            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
-        }
-        std::mem::swap(&mut prev, &mut curr);
-    }
-    prev[short.len()]
+    let ai: Vec<u32> = a.iter().map(|&c| c as u32).collect();
+    let bi: Vec<u32> = b.iter().map(|&c| c as u32).collect();
+    levenshtein_ids(&ai, &bi, &mut EditScratch::default())
 }
 
 /// Normalized edit distance: `levenshtein(a, b) / max(|a|, |b|)`, in `[0, 1]`.
 /// Two empty strings have distance 0.
 pub fn normalized_edit_distance(a: &str, b: &str) -> f64 {
-    let ac: Vec<char> = a.chars().collect();
-    let bc: Vec<char> = b.chars().collect();
-    normalized_edit_distance_chars(&ac, &bc)
+    let ai = ids(a);
+    let bi = ids(b);
+    let max_len = ai.len().max(bi.len());
+    if max_len == 0 {
+        return 0.0;
+    }
+    levenshtein_ids(&ai, &bi, &mut EditScratch::default()) as f64 / max_len as f64
 }
 
 /// Normalized edit distance over pre-collected character slices.
+#[doc(hidden)]
 pub fn normalized_edit_distance_chars(a: &[char], b: &[char]) -> f64 {
     let max_len = a.len().max(b.len());
     if max_len == 0 {

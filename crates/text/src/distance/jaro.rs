@@ -1,14 +1,25 @@
 //! Jaro and Jaro-Winkler similarity / distance.
+//!
+//! The hot path is [`jaro_winkler_distance_ids`]: it runs over interned
+//! `u32` character ids cached in `PreparedColumn`, reuses the match-flag
+//! buffers from a [`JaroScratch`], and supports a distance bound that prunes
+//! pairs whose length ratio already caps the similarity below the threshold.
+//! The `str` / `char`-slice entry points are thin wrappers kept for the
+//! experiment bins and the known-value tests.
 
-/// Jaro similarity between two strings, in `[0, 1]` (1 = identical).
-pub fn jaro_similarity(a: &str, b: &str) -> f64 {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    jaro_similarity_chars(&a, &b)
+const PREFIX_SCALE: f64 = 0.1;
+const MAX_PREFIX: usize = 4;
+
+/// Reusable match-flag buffers for the Jaro kernel (one per worker thread).
+#[derive(Debug, Default, Clone)]
+pub struct JaroScratch {
+    a_matched: Vec<bool>,
+    b_matched: Vec<bool>,
 }
 
-/// Jaro similarity over pre-collected character slices.
-pub fn jaro_similarity_chars(a: &[char], b: &[char]) -> f64 {
+/// The Jaro match/transposition scan, generic over the symbol type so the
+/// id-slice kernel and the `char`-slice wrappers share one code path.
+fn jaro_core<T: PartialEq>(a: &[T], b: &[T], scratch: &mut JaroScratch) -> f64 {
     if a.is_empty() && b.is_empty() {
         return 1.0;
     }
@@ -19,16 +30,18 @@ pub fn jaro_similarity_chars(a: &[char], b: &[char]) -> f64 {
         return 1.0;
     }
     let match_window = (a.len().max(b.len()) / 2).saturating_sub(1);
-    let mut a_matched = vec![false; a.len()];
-    let mut b_matched = vec![false; b.len()];
+    scratch.a_matched.clear();
+    scratch.a_matched.resize(a.len(), false);
+    scratch.b_matched.clear();
+    scratch.b_matched.resize(b.len(), false);
     let mut matches = 0usize;
-    for (i, &ca) in a.iter().enumerate() {
+    for (i, ca) in a.iter().enumerate() {
         let lo = i.saturating_sub(match_window);
         let hi = (i + match_window + 1).min(b.len());
-        for j in lo..hi {
-            if !b_matched[j] && b[j] == ca {
-                a_matched[i] = true;
-                b_matched[j] = true;
+        for (j, cb) in b.iter().enumerate().take(hi).skip(lo) {
+            if !scratch.b_matched[j] && *cb == *ca {
+                scratch.a_matched[i] = true;
+                scratch.b_matched[j] = true;
                 matches += 1;
                 break;
             }
@@ -40,11 +53,11 @@ pub fn jaro_similarity_chars(a: &[char], b: &[char]) -> f64 {
     // Count transpositions between the matched subsequences.
     let mut transpositions = 0usize;
     let mut j = 0usize;
-    for (i, &ma) in a_matched.iter().enumerate() {
+    for (i, &ma) in scratch.a_matched.iter().enumerate() {
         if !ma {
             continue;
         }
-        while !b_matched[j] {
+        while !scratch.b_matched[j] {
             j += 1;
         }
         if a[i] != b[j] {
@@ -57,6 +70,65 @@ pub fn jaro_similarity_chars(a: &[char], b: &[char]) -> f64 {
     (m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0
 }
 
+fn winkler_boost<T: PartialEq>(a: &[T], b: &[T], jaro: f64) -> f64 {
+    let prefix = a
+        .iter()
+        .zip(b.iter())
+        .take(MAX_PREFIX)
+        .take_while(|(x, y)| x == y)
+        .count() as f64;
+    (jaro + prefix * PREFIX_SCALE * (1.0 - jaro)).min(1.0)
+}
+
+/// Jaro similarity over interned character ids, reusing `scratch`.
+pub fn jaro_similarity_ids(a: &[u32], b: &[u32], scratch: &mut JaroScratch) -> f64 {
+    jaro_core(a, b, scratch)
+}
+
+/// Jaro-Winkler distance over interned character ids, reusing `scratch`.
+pub fn jaro_winkler_distance_ids(a: &[u32], b: &[u32], scratch: &mut JaroScratch) -> f64 {
+    1.0 - winkler_boost(a, b, jaro_core(a, b, scratch))
+}
+
+/// Jaro-Winkler distance over interned character ids with an optional bound.
+///
+/// Contract: equals the exact distance whenever the exact distance is
+/// `≤ bound`; otherwise returns some value in `(bound, exact]`.  The prune
+/// uses the length-ratio cap on Jaro similarity (`m ≤ min(|a|, |b|)` matches,
+/// zero transpositions, maximal Winkler boost), which upper-bounds the true
+/// similarity, so the derived lower bound on the distance is safe.
+pub fn bounded_jaro_winkler_ids(
+    a: &[u32],
+    b: &[u32],
+    bound: Option<f64>,
+    scratch: &mut JaroScratch,
+) -> f64 {
+    if let Some(bound) = bound {
+        if !a.is_empty() && !b.is_empty() {
+            let min_len = a.len().min(b.len()) as f64;
+            let s_max = (min_len / a.len() as f64 + min_len / b.len() as f64 + 1.0) / 3.0;
+            let sim_cap = s_max + MAX_PREFIX as f64 * PREFIX_SCALE * (1.0 - s_max);
+            let dist_floor = 1.0 - sim_cap;
+            if dist_floor > bound {
+                return dist_floor;
+            }
+        }
+    }
+    jaro_winkler_distance_ids(a, b, scratch)
+}
+
+/// Jaro similarity between two strings, in `[0, 1]` (1 = identical).
+pub fn jaro_similarity(a: &str, b: &str) -> f64 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    jaro_similarity_chars(&a, &b)
+}
+
+/// Jaro similarity over pre-collected character slices.
+pub fn jaro_similarity_chars(a: &[char], b: &[char]) -> f64 {
+    jaro_core(a, b, &mut JaroScratch::default())
+}
+
 /// Jaro-Winkler similarity with the standard prefix scale of 0.1 and a
 /// maximum rewarded prefix of 4 characters.
 pub fn jaro_winkler_similarity(a: &str, b: &str) -> f64 {
@@ -67,16 +139,7 @@ pub fn jaro_winkler_similarity(a: &str, b: &str) -> f64 {
 
 /// Jaro-Winkler similarity over pre-collected character slices.
 pub fn jaro_winkler_similarity_chars(a: &[char], b: &[char]) -> f64 {
-    const PREFIX_SCALE: f64 = 0.1;
-    const MAX_PREFIX: usize = 4;
-    let jaro = jaro_similarity_chars(a, b);
-    let prefix = a
-        .iter()
-        .zip(b.iter())
-        .take(MAX_PREFIX)
-        .take_while(|(x, y)| x == y)
-        .count() as f64;
-    (jaro + prefix * PREFIX_SCALE * (1.0 - jaro)).min(1.0)
+    winkler_boost(a, b, jaro_similarity_chars(a, b))
 }
 
 /// Jaro-Winkler distance: `1 - similarity`, in `[0, 1]`.
@@ -95,6 +158,10 @@ mod tests {
 
     fn close(a: f64, b: f64) -> bool {
         (a - b).abs() < 1e-3
+    }
+
+    fn ids(s: &str) -> Vec<u32> {
+        s.chars().map(|c| c as u32).collect()
     }
 
     #[test]
@@ -201,5 +268,48 @@ mod tests {
             jaro_winkler_distance(a, b),
             jaro_winkler_distance_chars(&ac, &bc)
         );
+    }
+
+    #[test]
+    fn id_kernel_agrees_with_char_path_and_reuses_scratch() {
+        let words = ["", "a", "martha", "marhta", "dixon", "dicksonx", "ααβ"];
+        let mut scratch = JaroScratch::default();
+        for x in words {
+            for y in words {
+                assert_eq!(
+                    jaro_winkler_distance_ids(&ids(x), &ids(y), &mut scratch),
+                    jaro_winkler_distance(x, y),
+                    "{x:?}/{y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_jaro_winkler_honours_contract() {
+        let words = [
+            "martha",
+            "marhta",
+            "a",
+            "completely different words",
+            "mart",
+        ];
+        let mut scratch = JaroScratch::default();
+        for x in words {
+            for y in words {
+                let exact = jaro_winkler_distance_ids(&ids(x), &ids(y), &mut scratch);
+                for bound in [0.0, 0.05, 0.2, 0.5, 1.0] {
+                    let got = bounded_jaro_winkler_ids(&ids(x), &ids(y), Some(bound), &mut scratch);
+                    if exact <= bound {
+                        assert_eq!(got, exact, "{x:?}/{y:?} τ={bound}");
+                    } else {
+                        assert!(
+                            got > bound && got <= exact,
+                            "{x:?}/{y:?} τ={bound} got {got}"
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -12,20 +12,33 @@
 //! * [`hybrid`] — the paper's Contain-Jaccard / Contain-Cosine / Contain-Dice
 //!   distances (Table 1 footnote).
 //! * [`embed`] — embedding distance (`GED`) over hashed token embeddings.
+//! * [`myers`] — bit-parallel / banded edit-distance kernels (the hot path).
+//! * [`mod@reference`] — the original scalar inner loops, kept as the
+//!   correctness pin for the kernel proptests.
 
 pub mod edit;
 pub mod embed;
 pub mod hybrid;
 pub mod jaro;
+pub mod myers;
+pub mod reference;
 pub mod set;
 
-/// Clamp a floating point distance into `[0, 1]`, mapping NaN to 1.
+/// Clamp a floating point distance into `[0, 1]`, mapping NaN to 1 and
+/// normalizing `-0.0` to `+0.0` (the weighted set kernels can produce `-0.0`
+/// for identical sets, and a sign bit would break byte-identical result
+/// comparisons downstream).
 #[inline]
 pub fn clamp_unit(d: f64) -> f64 {
     if d.is_nan() {
-        1.0
+        return 1.0;
+    }
+    let c = d.clamp(0.0, 1.0);
+    // `clamp` keeps -0.0 (it compares equal to 0.0); drop the sign bit.
+    if c == 0.0 {
+        0.0
     } else {
-        d.clamp(0.0, 1.0)
+        c
     }
 }
 
@@ -39,5 +52,16 @@ mod tests {
         assert_eq!(clamp_unit(-0.5), 0.0);
         assert_eq!(clamp_unit(1.5), 1.0);
         assert_eq!(clamp_unit(0.25), 0.25);
+    }
+
+    #[test]
+    fn clamp_normalizes_negative_zero() {
+        let out = clamp_unit(-0.0);
+        assert_eq!(out, 0.0);
+        assert!(out.is_sign_positive(), "clamp_unit(-0.0) kept the sign bit");
+        // And a computation that actually produces -0.0 stays normalized.
+        let neg_zero = 0.0f64 * -1.0f64.signum();
+        assert!(neg_zero.is_sign_negative());
+        assert!(clamp_unit(neg_zero).is_sign_positive());
     }
 }

@@ -13,9 +13,8 @@
 //!                                       140
 //! ```
 
-use crate::distance::hybrid::{containment_distance, ContainmentBase};
-use crate::distance::{edit, embed, jaro, set};
-use crate::prepared::{prep_index, scheme_index, PreparedColumn};
+use crate::kernel::{plan_kernel_groups, with_scratch, FunctionKernel};
+use crate::prepared::PreparedColumn;
 use crate::preprocess::Preprocessing;
 use crate::tokenize::Tokenization;
 use crate::weights::TokenWeighting;
@@ -178,48 +177,18 @@ impl JoinFunction {
     /// that is not part of the column (see
     /// [`PreparedColumn::prepare_query`]); for in-column records it is
     /// exactly [`Self::distance`].
+    ///
+    /// This is a thin wrapper over the kernel layer
+    /// ([`crate::kernel::FunctionKernel`]) using the calling thread's
+    /// scratch; batch callers should hold a [`crate::kernel::KernelScratch`]
+    /// of their own and use the kernel API directly.
     pub fn distance_between(
         &self,
         col: &PreparedColumn,
         lr: &crate::prepared::PreparedRecord,
         rr: &crate::prepared::PreparedRecord,
     ) -> f64 {
-        let pi = prep_index(self.prep);
-        match self.dist {
-            DistanceFunction::JaroWinkler => {
-                jaro::jaro_winkler_distance_chars(&lr.chars[pi], &rr.chars[pi])
-            }
-            DistanceFunction::Edit => {
-                edit::normalized_edit_distance_chars(&lr.chars[pi], &rr.chars[pi])
-            }
-            DistanceFunction::Embedding => {
-                embed::cosine_distance(&lr.embeddings[pi], &rr.embeddings[pi])
-            }
-            _ => {
-                let tok = self.tok.unwrap_or(Tokenization::Space);
-                let weighting = self.weight.unwrap_or(TokenWeighting::Equal);
-                let si = scheme_index(self.prep, tok);
-                let weights = col.weight_table(self.prep, tok, weighting);
-                let o = set::overlap(&lr.token_sets[si], &rr.token_sets[si], weights);
-                match self.dist {
-                    DistanceFunction::Jaccard => o.jaccard_distance(),
-                    DistanceFunction::Cosine => o.cosine_distance(),
-                    DistanceFunction::Dice => o.dice_distance(),
-                    DistanceFunction::MaxInclusion => o.max_inclusion_distance(),
-                    DistanceFunction::Intersect => o.intersect_distance(),
-                    DistanceFunction::ContainJaccard => {
-                        containment_distance(&o, ContainmentBase::Jaccard)
-                    }
-                    DistanceFunction::ContainCosine => {
-                        containment_distance(&o, ContainmentBase::Cosine)
-                    }
-                    DistanceFunction::ContainDice => {
-                        containment_distance(&o, ContainmentBase::Dice)
-                    }
-                    _ => unreachable!("char/embedding handled above"),
-                }
-            }
-        }
+        with_scratch(|scratch| FunctionKernel::new(col, *self).eval_records(scratch, lr, rr, None))
     }
 
     /// Distance between two raw strings, building a throw-away prepared
@@ -401,41 +370,62 @@ impl JoinFunctionSpace {
     /// Splitting by function alone strands the expensive `O(len²)`
     /// char-based functions in one worker's chunk while the set-based merge
     /// walks finish early; the flattened item list interleaves fixed-size
-    /// pair blocks of every function, so unit costs even out regardless of
-    /// which functions a chunk draws.  The block size is a constant (never
-    /// derived from the thread count) and every item lands at a fixed
-    /// position in the output, so results are identical at any parallelism.
+    /// pair blocks of every kernel group, so unit costs even out regardless
+    /// of which groups a chunk draws.  Functions sharing a merge walk (the
+    /// set/hybrid families of one scheme) are evaluated together per pair
+    /// via [`crate::kernel::plan_kernel_groups`].  The block size is a
+    /// constant (never derived from the thread count) and every item lands
+    /// at a fixed position in the output, so results are identical at any
+    /// parallelism.
     pub fn batch_distances(&self, col: &PreparedColumn, pairs: &[(usize, usize)]) -> Vec<Vec<f64>> {
         const PAIR_BLOCK: usize = 1024;
         if pairs.is_empty() {
             return vec![Vec::new(); self.functions.len()];
         }
-        let blocks_per_fn = pairs.len().div_ceil(PAIR_BLOCK);
-        let items: Vec<(usize, usize)> = (0..self.functions.len())
-            .flat_map(|f| (0..blocks_per_fn).map(move |b| (f, b)))
+        let groups = plan_kernel_groups(&self.functions);
+        let blocks_per_group = pairs.len().div_ceil(PAIR_BLOCK);
+        let items: Vec<(usize, usize)> = (0..groups.len())
+            .flat_map(|g| (0..blocks_per_group).map(move |b| (g, b)))
             .collect();
+        // Each item evaluates one pair block of one group, pair-major
+        // (members contiguous per pair, sharing the per-pair merge walk).
         let evaluated: Vec<Vec<f64>> = items
             .par_iter()
-            .map(|&(fi, b)| {
-                let f = &self.functions[fi];
+            .map(|&(gi, b)| {
+                let g = &groups[gi];
                 let start = b * PAIR_BLOCK;
                 let end = (start + PAIR_BLOCK).min(pairs.len());
-                pairs[start..end]
-                    .iter()
-                    .map(|&(l, r)| f.distance(col, l, r))
-                    .collect()
+                let k = g.members.len();
+                let mut block = vec![0.0f64; (end - start) * k];
+                with_scratch(|scratch| {
+                    for (chunk, &(l, r)) in block.chunks_mut(k).zip(&pairs[start..end]) {
+                        g.eval_records_into(
+                            col,
+                            scratch,
+                            col.record(l),
+                            col.record(r),
+                            None,
+                            chunk,
+                        );
+                    }
+                });
+                block
             })
             .collect();
-        evaluated
-            .chunks(blocks_per_fn)
-            .map(|blocks| {
-                let mut row = Vec::with_capacity(pairs.len());
-                for block in blocks {
-                    row.extend_from_slice(block);
+        // Scatter group-major blocks back into one row per function.
+        let mut rows = vec![vec![0.0f64; pairs.len()]; self.functions.len()];
+        for (item, block) in items.iter().zip(&evaluated) {
+            let (gi, b) = *item;
+            let g = &groups[gi];
+            let start = b * PAIR_BLOCK;
+            let k = g.members.len();
+            for (p, chunk) in block.chunks(k).enumerate() {
+                for (&fi, &d) in g.members.iter().zip(chunk) {
+                    rows[fi][start + p] = d;
                 }
-                row
-            })
-            .collect()
+            }
+        }
+        rows
     }
 }
 

@@ -1,0 +1,467 @@
+//! The batched distance-kernel API.
+//!
+//! Everything that evaluates a [`JoinFunction`] now goes through this layer:
+//!
+//! * [`DistanceKernel`] — the trait: evaluate a batch of record-index pairs
+//!   into a flat output buffer, with reusable per-worker [`KernelScratch`]
+//!   and an optional distance bound for threshold-aware early exit.
+//! * [`FunctionKernel`] — one join function over a prepared column; routes
+//!   char distances to the bit-parallel / banded kernels of
+//!   [`crate::distance::myers`] and the scratch-reusing Jaro kernel, and set
+//!   distances to the merge walk of [`crate::distance::set`].
+//! * [`KernelGroup`] / [`plan_kernel_groups`] — the sharing planner: set (and
+//!   hybrid) functions that differ only in the distance member share one
+//!   `(preprocessing, tokenization, weighting)` merge walk per pair, since
+//!   all of their distances are pure functions of the same [`set::SetOverlap`]
+//!   statistics.
+//!
+//! ## The bound contract
+//!
+//! With `bound = Some(τ)` a kernel must return the **exact** distance for
+//! every pair whose exact distance is `≤ τ`, and for other pairs may return
+//! any value `d` with `τ < d ≤ exact`.  Callers that compare against `τ` (or
+//! keep a running minimum initialized at `τ`) therefore make byte-identical
+//! decisions whether or not the bound is supplied.
+
+use crate::distance::hybrid::{containment_distance, ContainmentBase};
+use crate::distance::jaro::{bounded_jaro_winkler_ids, JaroScratch};
+use crate::distance::myers::{bounded_normalized_edit, EditScratch};
+use crate::distance::{clamp_unit, embed, set};
+use crate::joinfn::{DistanceFunction, JoinFunction};
+use crate::prepared::{prep_index, scheme_index, PreparedColumn, PreparedRecord};
+use std::cell::RefCell;
+
+/// Reusable working memory for every kernel family (one per worker thread).
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    /// Bit-parallel / banded edit-distance buffers.
+    pub edit: EditScratch,
+    /// Jaro match-flag buffers.
+    pub jaro: JaroScratch,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<KernelScratch> = RefCell::new(KernelScratch::default());
+}
+
+/// Run `f` with this thread's kernel scratch.  Distance evaluation is never
+/// re-entrant per thread, so a single thread-local scratch serves every
+/// caller that has no scratch of its own to pass down.
+pub fn with_scratch<R>(f: impl FnOnce(&mut KernelScratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// A batched distance evaluator over record-index pairs of some prepared
+/// column.
+pub trait DistanceKernel {
+    /// Number of distances written per pair (1 for single-function kernels,
+    /// the member count for family groups).
+    fn values_per_pair(&self) -> usize;
+
+    /// Evaluate `pairs` into `out` (length `pairs.len() * values_per_pair()`,
+    /// laid out pair-major), honouring the bound contract described in the
+    /// module docs.
+    fn eval_into(
+        &self,
+        scratch: &mut KernelScratch,
+        pairs: &[(u32, u32)],
+        bound: Option<f64>,
+        out: &mut [f64],
+    );
+
+    /// Convenience single-pair evaluation (single-function kernels only).
+    fn eval_pair(&self, scratch: &mut KernelScratch, l: u32, r: u32, bound: Option<f64>) -> f64 {
+        debug_assert_eq!(self.values_per_pair(), 1);
+        let mut out = [0.0f64];
+        self.eval_into(scratch, &[(l, r)], bound, &mut out);
+        out[0]
+    }
+}
+
+/// The kernel family a join function is served by (used for per-family
+/// timing attribution and planning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KernelFamily {
+    /// Bit-parallel / banded normalized edit distance.
+    Edit,
+    /// Scratch-reusing Jaro-Winkler.
+    Jaro,
+    /// Merge-walk weighted set distances (JD/CD/DD/MD/ID).
+    Set,
+    /// Containment hybrids (Contain-JD/CD/DD) — a set merge walk plus the
+    /// containment gate.
+    Hybrid,
+    /// Hashed-embedding cosine distance.
+    Embed,
+}
+
+impl KernelFamily {
+    /// The family serving a distance function.
+    pub fn of(dist: DistanceFunction) -> Self {
+        match dist {
+            DistanceFunction::Edit => KernelFamily::Edit,
+            DistanceFunction::JaroWinkler => KernelFamily::Jaro,
+            DistanceFunction::Embedding => KernelFamily::Embed,
+            DistanceFunction::ContainJaccard
+            | DistanceFunction::ContainCosine
+            | DistanceFunction::ContainDice => KernelFamily::Hybrid,
+            _ => KernelFamily::Set,
+        }
+    }
+
+    /// Stable lower-case label (bench report phase names).
+    pub fn label(&self) -> &'static str {
+        match self {
+            KernelFamily::Edit => "edit",
+            KernelFamily::Jaro => "jaro",
+            KernelFamily::Set => "set",
+            KernelFamily::Hybrid => "hybrid",
+            KernelFamily::Embed => "embed",
+        }
+    }
+}
+
+/// One join function bound to a prepared column.
+#[derive(Debug, Clone, Copy)]
+pub struct FunctionKernel<'a> {
+    /// The column whose records (and weight tables) the kernel evaluates.
+    pub col: &'a PreparedColumn,
+    /// The join function.
+    pub func: JoinFunction,
+}
+
+impl<'a> FunctionKernel<'a> {
+    /// Construct a kernel for `func` over `col`.
+    pub fn new(col: &'a PreparedColumn, func: JoinFunction) -> Self {
+        Self { col, func }
+    }
+
+    /// Evaluate one pair of explicit prepared records (the online-query path
+    /// scores records that are not part of the column).
+    pub fn eval_records(
+        &self,
+        scratch: &mut KernelScratch,
+        lr: &PreparedRecord,
+        rr: &PreparedRecord,
+        bound: Option<f64>,
+    ) -> f64 {
+        let pi = prep_index(self.func.prep);
+        match self.func.dist {
+            DistanceFunction::JaroWinkler => bounded_jaro_winkler_ids(
+                &lr.char_ids[pi],
+                &rr.char_ids[pi],
+                bound,
+                &mut scratch.jaro,
+            ),
+            DistanceFunction::Edit => bounded_normalized_edit(
+                &lr.char_ids[pi],
+                &rr.char_ids[pi],
+                bound,
+                &mut scratch.edit,
+            ),
+            DistanceFunction::Embedding => {
+                embed::cosine_distance(&lr.embeddings[pi], &rr.embeddings[pi])
+            }
+            dist => {
+                let tok = self
+                    .func
+                    .tok
+                    .unwrap_or(crate::tokenize::Tokenization::Space);
+                let weighting = self
+                    .func
+                    .weight
+                    .unwrap_or(crate::weights::TokenWeighting::Equal);
+                let si = scheme_index(self.func.prep, tok);
+                let weights = self.col.weight_table(self.func.prep, tok, weighting);
+                let o = set::overlap(&lr.token_sets[si], &rr.token_sets[si], weights);
+                set_member_distance(&o, dist)
+            }
+        }
+    }
+}
+
+impl DistanceKernel for FunctionKernel<'_> {
+    fn values_per_pair(&self) -> usize {
+        1
+    }
+
+    fn eval_into(
+        &self,
+        scratch: &mut KernelScratch,
+        pairs: &[(u32, u32)],
+        bound: Option<f64>,
+        out: &mut [f64],
+    ) {
+        assert_eq!(out.len(), pairs.len(), "one output slot per pair");
+        for (slot, &(l, r)) in out.iter_mut().zip(pairs) {
+            *slot = self.eval_records(
+                scratch,
+                self.col.record(l as usize),
+                self.col.record(r as usize),
+                bound,
+            );
+        }
+    }
+}
+
+/// Distance of one set / hybrid member from shared overlap statistics.
+fn set_member_distance(o: &set::SetOverlap, dist: DistanceFunction) -> f64 {
+    let d = match dist {
+        DistanceFunction::Jaccard => o.jaccard_distance(),
+        DistanceFunction::Cosine => o.cosine_distance(),
+        DistanceFunction::Dice => o.dice_distance(),
+        DistanceFunction::MaxInclusion => o.max_inclusion_distance(),
+        DistanceFunction::Intersect => o.intersect_distance(),
+        DistanceFunction::ContainJaccard => containment_distance(o, ContainmentBase::Jaccard),
+        DistanceFunction::ContainCosine => containment_distance(o, ContainmentBase::Cosine),
+        DistanceFunction::ContainDice => containment_distance(o, ContainmentBase::Dice),
+        _ => unreachable!("char/embedding distances are not set members"),
+    };
+    clamp_unit(d)
+}
+
+/// How a [`KernelGroup`] evaluates its members.
+#[derive(Debug, Clone)]
+pub enum GroupKind {
+    /// A single function with its own kernel (char / embedding distances).
+    Single(JoinFunction),
+    /// Set or hybrid functions sharing one merge walk per pair: all members
+    /// use the same `(preprocessing, tokenization, weighting)` scheme and
+    /// differ only in the distance derived from the shared overlap.
+    SetFamily {
+        /// Shared pre-processing option.
+        prep: crate::preprocess::Preprocessing,
+        /// Shared tokenization option.
+        tok: crate::tokenize::Tokenization,
+        /// Shared token weighting.
+        weight: crate::weights::TokenWeighting,
+        /// Distance member per output slot, aligned with `members`.
+        slots: Vec<DistanceFunction>,
+    },
+}
+
+/// A set of join functions evaluated together over each pair.
+#[derive(Debug, Clone)]
+pub struct KernelGroup {
+    /// Kernel family (timing attribution; uniform within a group).
+    pub family: KernelFamily,
+    /// Indices of the member functions in the originating function list.
+    pub members: Vec<usize>,
+    /// Evaluation strategy.
+    pub kind: GroupKind,
+}
+
+impl KernelGroup {
+    /// Evaluate one pair of prepared records into `out` (one slot per
+    /// member, aligned with `self.members`).  `bound` is honoured by
+    /// single-function char kernels and ignored by the (already cheap)
+    /// merge-walk families, which is always contract-safe.
+    pub fn eval_records_into(
+        &self,
+        col: &PreparedColumn,
+        scratch: &mut KernelScratch,
+        lr: &PreparedRecord,
+        rr: &PreparedRecord,
+        bound: Option<f64>,
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(out.len(), self.members.len());
+        match &self.kind {
+            GroupKind::Single(func) => {
+                out[0] = FunctionKernel::new(col, *func).eval_records(scratch, lr, rr, bound);
+            }
+            GroupKind::SetFamily {
+                prep,
+                tok,
+                weight,
+                slots,
+            } => {
+                let si = scheme_index(*prep, *tok);
+                let weights = col.weight_table(*prep, *tok, *weight);
+                let o = set::overlap(&lr.token_sets[si], &rr.token_sets[si], weights);
+                for (slot, &dist) in out.iter_mut().zip(slots) {
+                    *slot = set_member_distance(&o, dist);
+                }
+            }
+        }
+    }
+}
+
+/// A [`KernelGroup`] bound to its column — the group-level
+/// [`DistanceKernel`], writing `members.len()` distances per pair.
+#[derive(Debug, Clone, Copy)]
+pub struct GroupKernel<'a> {
+    /// The column the group evaluates over.
+    pub col: &'a PreparedColumn,
+    /// The planned group.
+    pub group: &'a KernelGroup,
+}
+
+impl DistanceKernel for GroupKernel<'_> {
+    fn values_per_pair(&self) -> usize {
+        self.group.members.len()
+    }
+
+    fn eval_into(
+        &self,
+        scratch: &mut KernelScratch,
+        pairs: &[(u32, u32)],
+        bound: Option<f64>,
+        out: &mut [f64],
+    ) {
+        let k = self.values_per_pair();
+        assert_eq!(out.len(), pairs.len() * k, "members × pairs output slots");
+        for (chunk, &(l, r)) in out.chunks_mut(k).zip(pairs) {
+            self.group.eval_records_into(
+                self.col,
+                scratch,
+                self.col.record(l as usize),
+                self.col.record(r as usize),
+                bound,
+                chunk,
+            );
+        }
+    }
+}
+
+/// Plan shared-evaluation groups over a function list.
+///
+/// Set-based functions are grouped by `(preprocessing, tokenization,
+/// weighting, family)` — every member's distance is derived from the one
+/// merge walk the group performs per pair (hybrids group separately from the
+/// standard set distances so per-family timing stays honest).  Char and
+/// embedding functions become single-member groups.  Groups are ordered by
+/// first member appearance and members keep their original indices, so any
+/// iteration that respects group/member order reproduces the per-function
+/// evaluation order exactly.
+pub fn plan_kernel_groups(functions: &[JoinFunction]) -> Vec<KernelGroup> {
+    let mut groups: Vec<KernelGroup> = Vec::new();
+    for (fi, f) in functions.iter().enumerate() {
+        let family = KernelFamily::of(f.dist);
+        if let (Some(tok), Some(weight), true) = (f.tok, f.weight, f.dist.is_set_based()) {
+            if let Some(g) = groups.iter_mut().find(|g| {
+                g.family == family
+                    && matches!(
+                        &g.kind,
+                        GroupKind::SetFamily { prep, tok: t, weight: w, .. }
+                            if *prep == f.prep && *t == tok && *w == weight
+                    )
+            }) {
+                g.members.push(fi);
+                if let GroupKind::SetFamily { slots, .. } = &mut g.kind {
+                    slots.push(f.dist);
+                }
+                continue;
+            }
+            groups.push(KernelGroup {
+                family,
+                members: vec![fi],
+                kind: GroupKind::SetFamily {
+                    prep: f.prep,
+                    tok,
+                    weight,
+                    slots: vec![f.dist],
+                },
+            });
+        } else {
+            groups.push(KernelGroup {
+                family,
+                members: vec![fi],
+                kind: GroupKind::Single(*f),
+            });
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::joinfn::JoinFunctionSpace;
+
+    #[test]
+    fn groups_cover_every_function_exactly_once() {
+        for space in [
+            JoinFunctionSpace::reduced24(),
+            JoinFunctionSpace::full(),
+            JoinFunctionSpace::reduced38(),
+        ] {
+            let groups = plan_kernel_groups(space.functions());
+            let mut seen = vec![false; space.len()];
+            for g in &groups {
+                for &m in &g.members {
+                    assert!(!seen[m], "function {m} appears in two groups");
+                    seen[m] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "some function missing from plan");
+        }
+    }
+
+    #[test]
+    fn reduced24_plans_four_set_family_groups_of_five() {
+        let space = JoinFunctionSpace::reduced24();
+        let groups = plan_kernel_groups(space.functions());
+        let family_sizes: Vec<usize> = groups
+            .iter()
+            .filter(|g| g.family == KernelFamily::Set)
+            .map(|g| g.members.len())
+            .collect();
+        // 1 prep × 2 toks × 2 weights, each sharing the 5 standard set
+        // distances in one merge walk.
+        assert_eq!(family_sizes, vec![5, 5, 5, 5]);
+        // 2 char + 2 embed singles.
+        assert_eq!(groups.len(), 4 + 4);
+    }
+
+    #[test]
+    fn group_evaluation_matches_per_function_distance() {
+        let col = PreparedColumn::build(&[
+            "2007 LSU Tigers football team",
+            "2007 LSU Tigers football",
+            "Mississippi State Bulldogs",
+            "",
+        ]);
+        for space in [JoinFunctionSpace::reduced24(), JoinFunctionSpace::full()] {
+            let groups = plan_kernel_groups(space.functions());
+            let mut scratch = KernelScratch::default();
+            for g in &groups {
+                let mut out = vec![0.0; g.members.len()];
+                for l in 0..col.len() {
+                    for r in 0..col.len() {
+                        g.eval_records_into(
+                            &col,
+                            &mut scratch,
+                            col.record(l),
+                            col.record(r),
+                            None,
+                            &mut out,
+                        );
+                        for (&fi, &d) in g.members.iter().zip(&out) {
+                            let expect = space.functions()[fi].distance(&col, l, r);
+                            assert_eq!(d, expect, "{} diverged", space.functions()[fi].code());
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn family_labels_are_stable() {
+        assert_eq!(KernelFamily::of(DistanceFunction::Edit).label(), "edit");
+        assert_eq!(
+            KernelFamily::of(DistanceFunction::JaroWinkler).label(),
+            "jaro"
+        );
+        assert_eq!(KernelFamily::of(DistanceFunction::Jaccard).label(), "set");
+        assert_eq!(
+            KernelFamily::of(DistanceFunction::ContainDice).label(),
+            "hybrid"
+        );
+        assert_eq!(
+            KernelFamily::of(DistanceFunction::Embedding).label(),
+            "embed"
+        );
+    }
+}

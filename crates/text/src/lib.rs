@@ -19,6 +19,7 @@
 
 pub mod distance;
 pub mod joinfn;
+pub mod kernel;
 pub mod prepared;
 pub mod preprocess;
 pub mod tokenize;
@@ -26,6 +27,10 @@ pub mod vocab;
 pub mod weights;
 
 pub use joinfn::{DistanceFunction, JoinFunction, JoinFunctionSpace};
+pub use kernel::{
+    plan_kernel_groups, with_scratch, DistanceKernel, FunctionKernel, GroupKernel, KernelFamily,
+    KernelGroup, KernelScratch,
+};
 pub use prepared::{PreparedColumn, PreparedRecord};
 pub use preprocess::Preprocessing;
 pub use tokenize::Tokenization;

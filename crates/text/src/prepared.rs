@@ -6,8 +6,9 @@
 //! `L ∪ R` so that IDF weights reflect both tables, as the blocking and
 //! weighting of the paper do).  It caches, for every record:
 //!
-//! * the pre-processed string and its character vector per
-//!   [`Preprocessing`] option (4 variants),
+//! * the pre-processed string and its interned character-id vector per
+//!   [`Preprocessing`] option (4 variants) — the char distances only need
+//!   id equality, so Unicode scalar values serve as ids directly,
 //! * the sorted, deduplicated token-id set per `(Preprocessing,
 //!   Tokenization)` scheme (8 variants),
 //! * the hashed document embedding per [`Preprocessing`] option (4 variants).
@@ -57,8 +58,9 @@ pub struct PreparedRecord {
     pub raw: String,
     /// Pre-processed string per pre-processing option.
     pub strings: [String; NUM_PREP],
-    /// Character vectors of the pre-processed strings (for char distances).
-    pub chars: [Vec<char>; NUM_PREP],
+    /// Interned character-id vectors of the pre-processed strings (Unicode
+    /// scalar values as `u32`), consumed by the char-distance kernels.
+    pub char_ids: [Vec<u32>; NUM_PREP],
     /// Sorted, deduplicated token id sets per scheme.
     pub token_sets: [Vec<u32>; NUM_SCHEMES],
     /// Hashed document embeddings per pre-processing option.
@@ -80,7 +82,7 @@ pub struct PreparedColumn {
 struct RawPrepared {
     raw: String,
     strings: [String; NUM_PREP],
-    chars: [Vec<char>; NUM_PREP],
+    char_ids: [Vec<u32>; NUM_PREP],
     embeddings: [Embedding; NUM_PREP],
 }
 
@@ -90,17 +92,17 @@ struct RawPrepared {
 const PREPARE_BATCH: usize = 4096;
 
 /// The pure (vocabulary-free) part of record preparation: pre-processed
-/// strings, character vectors, and embeddings.  Deterministic per record, so
-/// it can run in parallel during builds and be recomputed when a column is
+/// strings, character-id vectors, and embeddings.  Deterministic per record,
+/// so it can run in parallel during builds and be recomputed when a column is
 /// reconstructed from serialized token sets.
 fn prepare_raw(raw: &str) -> RawPrepared {
     let mut prepped: [String; NUM_PREP] = Default::default();
-    let mut chars: [Vec<char>; NUM_PREP] = Default::default();
+    let mut char_ids: [Vec<u32>; NUM_PREP] = Default::default();
     let mut embeddings = [[0f32; embed::DIM]; NUM_PREP];
     for p in Preprocessing::ALL {
         let pi = prep_index(p);
         let s = p.apply(raw);
-        chars[pi] = s.chars().collect();
+        char_ids[pi] = s.chars().map(|c| c as u32).collect();
         // Document embedding over space tokens of the preprocessed string
         // with unit weights (spaCy-style mean vector).
         embeddings[pi] = embed::embed_document(s.split_whitespace().map(|t| (t, 1.0)));
@@ -109,7 +111,7 @@ fn prepare_raw(raw: &str) -> RawPrepared {
     RawPrepared {
         raw: raw.to_string(),
         strings: prepped,
-        chars,
+        char_ids,
         embeddings,
     }
 }
@@ -138,7 +140,7 @@ fn intern_record(
     PreparedRecord {
         raw: rec.raw,
         strings: rec.strings,
-        chars: rec.chars,
+        char_ids: rec.char_ids,
         token_sets,
         embeddings: rec.embeddings,
     }
@@ -206,7 +208,7 @@ impl PreparedColumn {
             .map(|(rec, sets)| PreparedRecord {
                 raw: rec.raw,
                 strings: rec.strings,
-                chars: rec.chars,
+                char_ids: rec.char_ids,
                 token_sets: sets,
                 embeddings: rec.embeddings,
             })
@@ -279,7 +281,7 @@ impl PreparedColumn {
         PreparedRecord {
             raw: rec.raw,
             strings: rec.strings,
-            chars: rec.chars,
+            char_ids: rec.char_ids,
             token_sets,
             embeddings: rec.embeddings,
         }
@@ -401,7 +403,7 @@ mod tests {
         for (ra, rb) in a.records().iter().zip(b.records()) {
             if ra.raw != rb.raw
                 || ra.strings != rb.strings
-                || ra.chars != rb.chars
+                || ra.char_ids != rb.char_ids
                 || ra.token_sets != rb.token_sets
                 || ra.embeddings != rb.embeddings
             {
@@ -465,7 +467,7 @@ mod tests {
             let q = col.prepare_query(&r.raw);
             assert_eq!(q.token_sets, r.token_sets, "{:?}", r.raw);
             assert_eq!(q.strings, r.strings);
-            assert_eq!(q.chars, r.chars);
+            assert_eq!(q.char_ids, r.char_ids);
         }
     }
 

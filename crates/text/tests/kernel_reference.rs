@@ -1,0 +1,191 @@
+//! Reference-vs-fast properties for the distance kernels (proptest).
+//!
+//! The bit-parallel / banded / merge-walk kernels behind the
+//! [`autofj_text::DistanceKernel`] API must be **bit-identical** to the
+//! retained scalar reference implementations on every input, at every bound,
+//! at every thread count — these properties pin that contract:
+//!
+//! * the Myers bit-parallel Levenshtein equals the single-row reference DP,
+//!   including across the 64-char block boundary;
+//! * a bounded kernel call with `bound = Some(τ)` returns the exact distance
+//!   whenever the true distance is ≤ τ, and some value > τ otherwise;
+//! * grouped batch evaluation (`eval_into`, `batch_distances`) returns the
+//!   same bytes as the one-pair-at-a-time [`JoinFunction::distance`] path.
+
+use autofj_text::distance::jaro::{bounded_jaro_winkler_ids, JaroScratch};
+use autofj_text::distance::myers::{bounded_normalized_edit, levenshtein_ids, EditScratch};
+use autofj_text::distance::reference::{
+    char_ids, jaro_winkler_distance_reference, levenshtein_reference, normalized_edit_reference,
+};
+use autofj_text::{
+    plan_kernel_groups, DistanceKernel, GroupKernel, JoinFunctionSpace, KernelScratch,
+    PreparedColumn,
+};
+use proptest::prelude::*;
+use std::sync::Mutex;
+
+/// Strategy: short token-ish strings (letters, digits, spaces).
+fn name_strategy() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9]{1,8}( [A-Za-z0-9]{1,8}){0,5}").unwrap()
+}
+
+/// Strategy: id sequences over a tiny alphabet (forces matches and runs) that
+/// regularly cross the 64-cell block boundary of the bit-parallel kernel.
+fn ids_strategy() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..6, 0..150)
+}
+
+/// The shim has no `prop_map`; widen generated ids in the test body.
+fn to_u32(v: &[usize]) -> Vec<u32> {
+    v.iter().map(|&x| x as u32).collect()
+}
+
+/// `build_global` mutates process-wide state; the thread-count sweep
+/// serializes on this lock (same pattern as the workspace property tests).
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The bit-parallel Levenshtein kernel equals the reference DP on
+    /// arbitrary id sequences, including multi-block patterns.
+    #[test]
+    fn myers_matches_reference_dp(a in ids_strategy(), b in ids_strategy()) {
+        let (a, b) = (to_u32(&a), to_u32(&b));
+        let mut scratch = EditScratch::default();
+        prop_assert_eq!(
+            levenshtein_ids(&a, &b, &mut scratch),
+            levenshtein_reference(&a, &b)
+        );
+        // Scratch reuse (the production pattern) must not change results.
+        prop_assert_eq!(
+            levenshtein_ids(&b, &a, &mut scratch),
+            levenshtein_reference(&b, &a)
+        );
+    }
+
+    /// Bounded edit distance honours the bound contract: exact when the true
+    /// distance is within the bound, strictly above the bound otherwise.
+    #[test]
+    fn bounded_edit_honours_contract(
+        a in ids_strategy(),
+        b in ids_strategy(),
+        tau in -0.1f64..1.2,
+    ) {
+        let (a, b) = (to_u32(&a), to_u32(&b));
+        let exact = normalized_edit_reference(&a, &b);
+        let mut scratch = EditScratch::default();
+        let unbounded = bounded_normalized_edit(&a, &b, None, &mut scratch);
+        prop_assert_eq!(unbounded.to_bits(), exact.to_bits());
+        let bounded = bounded_normalized_edit(&a, &b, Some(tau), &mut scratch);
+        if exact <= tau {
+            prop_assert_eq!(bounded.to_bits(), exact.to_bits());
+        } else {
+            prop_assert!(bounded > tau, "exact {exact} > τ {tau} but kernel said {bounded}");
+            prop_assert!(bounded <= exact);
+        }
+    }
+
+    /// Bounded Jaro-Winkler honours the same contract against the scalar
+    /// reference.
+    #[test]
+    fn bounded_jaro_winkler_honours_contract(
+        a in name_strategy(),
+        b in name_strategy(),
+        tau in -0.1f64..1.2,
+    ) {
+        let (ia, ib) = (char_ids(&a), char_ids(&b));
+        let exact = jaro_winkler_distance_reference(&ia, &ib);
+        let mut scratch = JaroScratch::default();
+        let unbounded = bounded_jaro_winkler_ids(&ia, &ib, None, &mut scratch);
+        prop_assert_eq!(unbounded.to_bits(), exact.to_bits());
+        let bounded = bounded_jaro_winkler_ids(&ia, &ib, Some(tau), &mut scratch);
+        if exact <= tau {
+            prop_assert_eq!(bounded.to_bits(), exact.to_bits());
+        } else {
+            prop_assert!(bounded > tau, "exact {exact} > τ {tau} but kernel said {bounded}");
+            prop_assert!(bounded <= exact);
+        }
+    }
+
+    /// Grouped `eval_into` — bounded or not — matches the per-pair
+    /// `JoinFunction::distance` path for every function of the reduced space,
+    /// bit for bit (bounded results only where the bound admits them).
+    #[test]
+    fn grouped_eval_into_matches_per_pair_distance(
+        strings in proptest::collection::vec(name_strategy(), 2..10),
+        tau in 0.0f64..1.1,
+    ) {
+        let col = PreparedColumn::build(&strings);
+        let n = strings.len() as u32;
+        let pairs: Vec<(u32, u32)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
+        let space = JoinFunctionSpace::reduced24();
+        let functions = space.functions();
+        let mut scratch = KernelScratch::default();
+        for group in plan_kernel_groups(functions) {
+            let members = &group.members;
+            let kernel = GroupKernel { col: &col, group: &group };
+            let k = kernel.values_per_pair();
+            let mut out = vec![0.0f64; pairs.len() * k];
+            let mut bounded = vec![0.0f64; pairs.len() * k];
+            kernel.eval_into(&mut scratch, &pairs, None, &mut out);
+            kernel.eval_into(&mut scratch, &pairs, Some(tau), &mut bounded);
+            for (p, &(i, j)) in pairs.iter().enumerate() {
+                for (m, &f_idx) in members.iter().enumerate() {
+                    let exact = functions[f_idx].distance(&col, i as usize, j as usize);
+                    let got = out[p * k + m];
+                    prop_assert!(
+                        got.to_bits() == exact.to_bits(),
+                        "{}: {got} vs {exact}", functions[f_idx].code()
+                    );
+                    let bv = bounded[p * k + m];
+                    if exact <= tau {
+                        prop_assert_eq!(bv.to_bits(), exact.to_bits());
+                    } else {
+                        prop_assert!(bv > tau, "{}: exact {exact} > τ {tau} but bounded said {bv}",
+                            functions[f_idx].code());
+                    }
+                }
+            }
+        }
+    }
+
+    /// `batch_distances` equals the per-pair path at every thread count.
+    #[test]
+    fn batch_distances_is_thread_count_invariant(
+        strings in proptest::collection::vec(name_strategy(), 2..8),
+        threads in 1usize..5,
+    ) {
+        let col = PreparedColumn::build(&strings);
+        let n = strings.len();
+        let pairs: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..n).map(move |j| (i, j))).collect();
+        let space = JoinFunctionSpace::reduced24();
+        let expected: Vec<Vec<f64>> = space
+            .functions()
+            .iter()
+            .map(|f| pairs.iter().map(|&(i, j)| f.distance(&col, i, j)).collect())
+            .collect();
+
+        let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("configure shim pool");
+        let batched = space.batch_distances(&col, &pairs);
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .expect("reset shim pool");
+        drop(_guard);
+
+        prop_assert_eq!(batched.len(), expected.len());
+        for (f, (got, want)) in batched.iter().zip(&expected).enumerate() {
+            for (p, (g, w)) in got.iter().zip(want).enumerate() {
+                prop_assert!(
+                    g.to_bits() == w.to_bits(),
+                    "function {f} pair {p}: {g} vs {w}"
+                );
+            }
+        }
+    }
+}
