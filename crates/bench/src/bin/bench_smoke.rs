@@ -166,6 +166,7 @@ fn main() {
         identical_results: tasks.iter().all(|t| t.identical_results),
         tasks,
         serve: None,
+        scenarios: None,
     };
 
     let mut table = Reporter::new(

@@ -2,12 +2,13 @@
 //!
 //! Sweeps the fraction of irrelevant records (drawn from other tasks'
 //! reference tables) mixed into `R` and reports AutoFJ's average precision
-//! and recall over the benchmark tasks at each point.
+//! and recall over the benchmark tasks at each point.  Every sweep point is
+//! built through [`ScenarioSpec::irrelevant`], the same constructor the
+//! gated `robustness_matrix` registry uses.
 
 use autofj_bench::runner::{autofj_options, run_autofj};
-use autofj_bench::{env_scale, env_space, env_task_limit, write_json, Reporter};
-use autofj_datagen::adversarial::add_irrelevant_records;
-use autofj_datagen::benchmark_specs;
+use autofj_bench::{expect_single, sweep_setup, write_json, Reporter};
+use autofj_datagen::ScenarioSpec;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -18,12 +19,9 @@ struct Point {
 }
 
 fn main() {
-    let specs = benchmark_specs(env_scale());
-    let limit = env_task_limit().min(specs.len()).min(12);
-    let space = env_space();
+    let setup = sweep_setup();
     let options = autofj_options();
-    let tasks: Vec<_> = specs.iter().take(limit).map(|s| s.generate()).collect();
-    // Donor pool: reference records from every other task.
+    // Donor pool: reference records from the next task over.
     let fractions = [0.0, 0.2, 0.4, 0.6, 0.8];
     let mut reporter = Reporter::new(
         "Figure 6(a): adding irrelevant records to R",
@@ -33,18 +31,27 @@ fn main() {
     for &fraction in &fractions {
         let mut psum = 0.0;
         let mut rsum = 0.0;
-        for (i, task) in tasks.iter().enumerate() {
-            let donor: Vec<String> = tasks[(i + 1) % tasks.len()].left.clone();
-            let noisy = add_irrelevant_records(task, &donor, fraction, 0xF16A + i as u64);
-            let (_res, q, _, _) = run_autofj(&noisy, &space, &options);
+        for (i, spec) in setup.specs.iter().enumerate() {
+            let donor = setup.specs[(i + 1) % setup.specs.len()].clone();
+            let noisy = expect_single(
+                ScenarioSpec::irrelevant(
+                    &spec.name,
+                    spec.clone(),
+                    donor,
+                    fraction,
+                    0xF16A + i as u64,
+                )
+                .generate(),
+            );
+            let (_res, q, _, _) = run_autofj(&noisy, &setup.space, &options);
             psum += q.precision;
             rsum += q.recall_relative;
-            eprintln!("[fig6a] {} @ {:.0}% done", task.name, fraction * 100.0);
+            eprintln!("[fig6a] {} @ {:.0}% done", spec.name, fraction * 100.0);
         }
         let point = Point {
             irrelevant_fraction: fraction,
-            precision: psum / tasks.len() as f64,
-            recall: rsum / tasks.len() as f64,
+            precision: psum / setup.specs.len() as f64,
+            recall: rsum / setup.specs.len() as f64,
         };
         reporter.add_metric_row(
             &format!("{:.0}%", fraction * 100.0),

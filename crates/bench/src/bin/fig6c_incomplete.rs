@@ -2,12 +2,13 @@
 //!
 //! Removes an increasing fraction of `L` records and reports AutoFJ's
 //! average precision/recall versus the Excel baseline's adjusted recall.
+//! Every sweep point is built through [`ScenarioSpec::sparse`], the same
+//! constructor the gated `robustness_matrix` registry uses.
 
 use autofj_baselines::ExcelLike;
 use autofj_bench::runner::{autofj_options, run_autofj, run_unsupervised};
-use autofj_bench::{env_scale, env_space, env_task_limit, write_json, Reporter};
-use autofj_datagen::adversarial::sparsify_reference;
-use autofj_datagen::benchmark_specs;
+use autofj_bench::{expect_single, sweep_setup, write_json, Reporter};
+use autofj_datagen::ScenarioSpec;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -19,11 +20,8 @@ struct Point {
 }
 
 fn main() {
-    let specs = benchmark_specs(env_scale());
-    let limit = env_task_limit().min(specs.len()).min(12);
-    let space = env_space();
+    let setup = sweep_setup();
     let options = autofj_options();
-    let tasks: Vec<_> = specs.iter().take(limit).map(|s| s.generate()).collect();
     let fractions = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
     let mut reporter = Reporter::new(
         "Figure 6(c): removing records from the reference table L",
@@ -34,15 +32,18 @@ fn main() {
         let mut p = 0.0;
         let mut r = 0.0;
         let mut e = 0.0;
-        for (i, task) in tasks.iter().enumerate() {
-            let sparse = sparsify_reference(task, fraction, 0x6C + i as u64);
-            let (_res, q, _, _) = run_autofj(&sparse, &space, &options);
+        for (i, spec) in setup.specs.iter().enumerate() {
+            let sparse = expect_single(
+                ScenarioSpec::sparse(&spec.name, spec.clone(), fraction, 0x6C + i as u64)
+                    .generate(),
+            );
+            let (_res, q, _, _) = run_autofj(&sparse, &setup.space, &options);
             p += q.precision;
             r += q.recall_relative;
             e += run_unsupervised(&ExcelLike::default(), &sparse, q.precision).adjusted_recall;
-            eprintln!("[fig6c] {} @ remove {:.0}%", task.name, fraction * 100.0);
+            eprintln!("[fig6c] {} @ remove {:.0}%", spec.name, fraction * 100.0);
         }
-        let n = tasks.len() as f64;
+        let n = setup.specs.len() as f64;
         let point = Point {
             removed_fraction: fraction,
             autofj_precision: p / n,

@@ -2,11 +2,12 @@
 //!
 //! Sweeps β (the number of candidates kept per probe record is β·√|L|) and
 //! reports AutoFJ's average precision/recall and running time at each point.
+//! Tasks come from the shared [`autofj_bench::sweep_setup`] harness (β is a
+//! pipeline option, not a data property, so the sweep reuses one task set).
 
 use autofj_bench::runner::{autofj_options, run_autofj};
-use autofj_bench::{env_scale, env_space, env_task_limit, write_json, Reporter};
+use autofj_bench::{sweep_setup, write_json, Reporter};
 use autofj_core::AutoFjOptions;
-use autofj_datagen::benchmark_specs;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -18,10 +19,7 @@ struct Point {
 }
 
 fn main() {
-    let specs = benchmark_specs(env_scale());
-    let limit = env_task_limit().min(specs.len()).min(12);
-    let space = env_space();
-    let tasks: Vec<_> = specs.iter().take(limit).map(|s| s.generate()).collect();
+    let setup = sweep_setup();
     let betas = [0.25, 0.5, 1.0, 1.5, 2.0, 3.0];
     let mut reporter = Reporter::new(
         "Figure 6(d): sensitivity to the blocking factor β",
@@ -36,14 +34,14 @@ fn main() {
         let mut p = 0.0;
         let mut r = 0.0;
         let mut secs = 0.0;
-        for task in &tasks {
-            let (_res, q, _, s) = run_autofj(task, &space, &options);
+        for task in &setup.tasks {
+            let (_res, q, _, s) = run_autofj(task, &setup.space, &options);
             p += q.precision;
             r += q.recall_relative;
             secs += s;
             eprintln!("[fig6d] {} @ β={beta}", task.name);
         }
-        let n = tasks.len() as f64;
+        let n = setup.tasks.len() as f64;
         let point = Point {
             beta,
             precision: p / n,

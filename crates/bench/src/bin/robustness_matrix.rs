@@ -1,0 +1,244 @@
+//! CI robustness-matrix: the paper's stress suite as an enforceable gate.
+//!
+//! Runs every scenario of [`autofj_datagen::scenario_registry`] — zero-join,
+//! irrelevant-record injection at several rates, sparsified reference, the
+//! three perturbation mixes, Zipf-skewed tokens, and a multi-column blend
+//! with random noise columns — through the full pipeline, once with 1 worker
+//! thread and once with `AUTOFJ_BENCH_THREADS` (default 4), and verifies per
+//! scenario that both legs produce a byte-identical serialized `JoinResult`.
+//!
+//! The report lands in `target/experiments/BENCH_scenarios.json` as a
+//! [`BenchSmokeReport`] whose `scenarios` section is filled (plus a copy at
+//! `AUTOFJ_BENCH_OUT` when set).  `AUTOFJ_BENCH_MERGE_INTO=<path>` instead
+//! merges the `scenarios` section into an existing report — that is how the
+//! committed `BENCH_pr*.json` trajectory entry gains its scenario rows.
+//!
+//! Every scenario row carries the [`autofj_eval::DataProfile`] of its
+//! generated tables next to the quality fields, and the **scenario gate**
+//! (baseline resolution shared with `bench_smoke`) fails on any drift in
+//! either: a drifted profile means the generator changed, drifted quality
+//! under an identical profile means the pipeline changed.  Timings stay
+//! informational so wall-clock noise can never fail CI.
+//!
+//! ```bash
+//! cargo run --release -p autofj-bench --bin robustness_matrix
+//! ```
+//!
+//! Exits non-zero if any scenario's results differ across thread counts or
+//! any quality-or-profile field drifts from the committed baseline.
+
+use autofj_bench::runner::{autofj_options, run_autofj};
+use autofj_bench::smoke::{
+    diff_scenarios_against_baseline, resolve_baseline, BenchSmokeReport, ScenarioBench, ScenarioRun,
+};
+use autofj_bench::{peak_rss_bytes, write_json, Reporter};
+use autofj_core::multi_column::join_multi_column;
+use autofj_core::JoinResult;
+use autofj_datagen::{scenario_registry, ScenarioData, ScenarioSpec};
+use autofj_eval::evaluate_assignment;
+use autofj_text::JoinFunctionSpace;
+use std::time::Instant;
+
+/// Execute one scenario's generated data once on the current thread pool.
+fn run_scenario_once(
+    data: &ScenarioData,
+    space: &JoinFunctionSpace,
+) -> (JoinResult, f64, f64, f64) {
+    let options = autofj_options();
+    match data {
+        ScenarioData::Single(task) => {
+            let (result, quality, _pepcc, seconds) = run_autofj(task, space, &options);
+            (result, quality.precision, quality.recall_relative, seconds)
+        }
+        ScenarioData::Multi(task) => {
+            let start = Instant::now();
+            let result = join_multi_column(&task.left, &task.right, space, &options);
+            let seconds = start.elapsed().as_secs_f64();
+            let quality = evaluate_assignment(&result.assignment, &task.ground_truth);
+            (result, quality.precision, quality.recall_relative, seconds)
+        }
+    }
+}
+
+/// Measure one scenario at 1 and `multi_threads` workers.
+fn bench_scenario(
+    spec: &ScenarioSpec,
+    space: &JoinFunctionSpace,
+    multi_threads: usize,
+) -> ScenarioBench {
+    let data = spec.generate();
+    let profile = data.profile();
+    data.validate()
+        .unwrap_or_else(|e| panic!("{}: generated data is inconsistent: {e}", spec.name));
+
+    let mut runs = Vec::new();
+    let mut serialized: Vec<String> = Vec::new();
+    for threads in [1usize, multi_threads] {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("configure shim pool");
+        let (result, actual_precision, actual_recall, seconds) = run_scenario_once(&data, space);
+        serialized.push(serde_json::to_string(&result).expect("JoinResult serializes"));
+        runs.push(ScenarioRun {
+            threads,
+            seconds,
+            joined: result.num_joined(),
+            estimated_precision: result.estimated_precision,
+            actual_precision,
+            actual_recall,
+        });
+    }
+    // Restore the environment-driven default for anything running after us.
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(0)
+        .build_global()
+        .expect("reset shim pool");
+
+    ScenarioBench {
+        scenario: spec.name.clone(),
+        kind: spec.kind.label().to_string(),
+        size: data.size(),
+        profile,
+        runs,
+        identical_results: serialized.windows(2).all(|w| w[0] == w[1]),
+    }
+}
+
+fn main() {
+    // Default to the reduced 24-function space so the matrix stays fast on
+    // CI; AUTOFJ_SPACE selects a bigger space for deeper sessions (the
+    // committed baseline is produced with the default).
+    let space = match std::env::var("AUTOFJ_SPACE") {
+        Ok(_) => autofj_bench::runner::env_space(),
+        Err(_) => JoinFunctionSpace::reduced24(),
+    };
+    let multi_threads: usize = std::env::var("AUTOFJ_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&n| n > 1)
+        .unwrap_or(4);
+
+    let registry = scenario_registry();
+    let mut scenarios = Vec::with_capacity(registry.len());
+    for spec in &registry {
+        eprintln!(
+            "robustness-matrix: {} ({}) at 1 and {multi_threads} threads...",
+            spec.name,
+            spec.kind.label()
+        );
+        scenarios.push(bench_scenario(spec, &space, multi_threads));
+    }
+    let all_identical = scenarios.iter().all(|s| s.identical_results);
+
+    let mut table = Reporter::new(
+        "robustness-matrix: the paper's stress suite, gated",
+        &[
+            "Scenario", "Kind", "Size", "Density", "Gini", "Joined", "EstP", "P", "R", "Same",
+        ],
+    );
+    for s in &scenarios {
+        let multi = s.runs.last().expect("two legs");
+        table.add_row(vec![
+            s.scenario.clone(),
+            s.kind.clone(),
+            format!("{}x{}", s.size.0, s.size.1),
+            format!("{:.3}", s.profile.match_density),
+            format!("{:.3}", s.profile.token_skew_gini),
+            multi.joined.to_string(),
+            format!("{:.3}", multi.estimated_precision),
+            format!("{:.3}", multi.actual_precision),
+            format!("{:.3}", multi.actual_recall),
+            s.identical_results.to_string(),
+        ]);
+    }
+    table.print();
+
+    // Either merge the scenarios section into an existing report (baseline
+    // regeneration) or write a standalone scenario report (the CI leg).
+    if let Ok(merge_into) = std::env::var("AUTOFJ_BENCH_MERGE_INTO") {
+        let text = std::fs::read_to_string(&merge_into)
+            .unwrap_or_else(|e| panic!("cannot read {merge_into}: {e}"));
+        let mut report: BenchSmokeReport = serde_json::from_str(&text)
+            .unwrap_or_else(|e| panic!("cannot parse {merge_into}: {e}"));
+        report.scenarios = Some(scenarios.clone());
+        report.identical_results = report.identical_results && all_identical;
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        std::fs::write(&merge_into, json)
+            .unwrap_or_else(|e| panic!("cannot write {merge_into}: {e}"));
+        println!("merged scenarios section into {merge_into}");
+    } else {
+        let report = BenchSmokeReport {
+            host_parallelism: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            peak_rss_bytes: peak_rss_bytes(),
+            tasks: Vec::new(),
+            serve: None,
+            scenarios: Some(scenarios.clone()),
+            identical_results: all_identical,
+        };
+        let path = write_json("BENCH_scenarios", &report);
+        println!("wrote {}", path.display());
+        if let Ok(extra) = std::env::var("AUTOFJ_BENCH_OUT") {
+            if let Err(e) = std::fs::copy(&path, &extra) {
+                eprintln!("could not copy report to {extra}: {e}");
+            } else {
+                println!("wrote {extra}");
+            }
+        }
+    }
+
+    let mut failed = false;
+    if !all_identical {
+        eprintln!("ERROR: scenario results differ across thread counts");
+        failed = true;
+    }
+
+    // Scenario gate: quality fields and data profiles must match the
+    // committed baseline's scenarios section.
+    if let Some(baseline_path) = resolve_baseline() {
+        let baseline_path = baseline_path.display().to_string();
+        match std::fs::read_to_string(&baseline_path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| {
+                serde_json::from_str::<BenchSmokeReport>(&text).map_err(|e| e.to_string())
+            }) {
+            Ok(baseline) => match &baseline.scenarios {
+                Some(base) => {
+                    let mut errors = Vec::new();
+                    diff_scenarios_against_baseline(&scenarios, base, &mut errors);
+                    if errors.is_empty() {
+                        println!(
+                            "scenario-gate: quality + profiles match {baseline_path} \
+                             for {} scenario(s)",
+                            scenarios.len()
+                        );
+                    } else {
+                        eprintln!("ERROR: scenario-gate found drift vs {baseline_path}:");
+                        for e in &errors {
+                            eprintln!("  - {e}");
+                        }
+                        eprintln!(
+                            "If the change is intentional, regenerate the section with \
+                             `AUTOFJ_BENCH_MERGE_INTO={baseline_path} cargo run --release \
+                             -p autofj-bench --bin robustness_matrix` and commit it."
+                        );
+                        failed = true;
+                    }
+                }
+                None => {
+                    println!("scenario-gate: baseline {baseline_path} has no scenarios section")
+                }
+            },
+            Err(e) => {
+                eprintln!("ERROR: could not load baseline {baseline_path}: {e}");
+                failed = true;
+            }
+        }
+    } else {
+        println!("scenario-gate: no baseline (AUTOFJ_BENCH_BASELINE=none or no BENCH_pr*.json)");
+    }
+
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -260,6 +260,7 @@ fn main() {
             tasks: Vec::new(),
             identical_results: serve.identical_results,
             serve: Some(serve.clone()),
+            scenarios: None,
         };
         let path = write_json("BENCH_serve", &report);
         println!("wrote {}", path.display());

@@ -11,9 +11,9 @@ use autofj_baselines::{
     SupervisedMatcher, UnsupervisedMatcher, ZeroEr,
 };
 use autofj_bench::runner::{autofj_options, run_supervised, run_unsupervised};
-use autofj_bench::{env_space, write_json, Reporter};
+use autofj_bench::{env_space, expect_multi, write_json, Reporter};
 use autofj_core::multi_column::join_multi_column;
-use autofj_datagen::{generate_multi_column_benchmark, SingleColumnTask};
+use autofj_datagen::{MultiColumnDataset, ScenarioSpec, SingleColumnTask};
 use autofj_eval::evaluate_assignment;
 use serde::Serialize;
 use std::time::Instant;
@@ -40,7 +40,17 @@ fn main() {
         .unwrap_or(0.2);
     let space = env_space();
     let options = autofj_options();
-    let tasks = generate_multi_column_benchmark(scale, 0xBEEF);
+    // The 8 Table 3 analogs, built through the same ScenarioSpec constructor
+    // the gated robustness_matrix registry uses (0 noise columns).
+    let tasks: Vec<_> = MultiColumnDataset::ALL
+        .iter()
+        .enumerate()
+        .map(|(i, d)| {
+            expect_multi(
+                ScenarioSpec::multi_column(d.code(), *d, scale, 0, 0xBEEF + i as u64).generate(),
+            )
+        })
+        .collect();
     let mut reporter = Reporter::new(
         "Table 4(a): multi-column fuzzy join quality",
         &[

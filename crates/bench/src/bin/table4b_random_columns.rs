@@ -7,10 +7,9 @@
 
 use autofj_baselines::{ActiveLearning, ExcelLike};
 use autofj_bench::runner::{autofj_options, run_supervised, run_unsupervised};
-use autofj_bench::{env_space, write_json, Reporter};
+use autofj_bench::{env_space, expect_multi, write_json, Reporter};
 use autofj_core::multi_column::join_multi_column;
-use autofj_datagen::adversarial::add_random_columns;
-use autofj_datagen::{generate_multi_column_benchmark, MultiColumnTask, SingleColumnTask};
+use autofj_datagen::{MultiColumnDataset, MultiColumnTask, ScenarioSpec, SingleColumnTask};
 use autofj_eval::evaluate_assignment;
 use serde::Serialize;
 
@@ -51,16 +50,23 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(3);
     let space = env_space();
-    let tasks = generate_multi_column_benchmark(scale, 0xBEEF);
     let mut reporter = Reporter::new(
         "Table 4(b): change in quality after adding random columns",
         &["Dataset", "AutoFJ ΔR", "Excel ΔAR", "AL ΔAR"],
     );
     let mut rows = Vec::new();
-    for task in &tasks {
+    // Base and noisy variants come from the same ScenarioSpec constructor
+    // the gated robustness_matrix registry uses; only `random_columns`
+    // differs between the two generations.
+    for (i, d) in MultiColumnDataset::ALL.iter().enumerate() {
+        let seed = 0xBEEF + i as u64;
+        let task =
+            expect_multi(ScenarioSpec::multi_column(d.code(), *d, scale, 0, seed).generate());
         eprintln!("[table4b] running {}", task.name);
-        let (r0, e0, a0) = measure(task, &space);
-        let noisy = add_random_columns(task, num_random, 0xD1CE);
+        let (r0, e0, a0) = measure(&task, &space);
+        let noisy = expect_multi(
+            ScenarioSpec::multi_column(d.code(), *d, scale, num_random, seed).generate(),
+        );
         let (r1, e1, a1) = measure(&noisy, &space);
         let row = Row {
             task: task.name.clone(),

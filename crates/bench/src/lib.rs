@@ -35,4 +35,7 @@ pub mod runner;
 pub mod smoke;
 
 pub use report::{peak_rss_bytes, write_json, Reporter};
-pub use runner::{autofj_options, env_scale, env_space, env_task_limit, MethodScores, TaskOutcome};
+pub use runner::{
+    autofj_options, env_scale, env_space, env_task_limit, expect_multi, expect_single, sweep_setup,
+    MethodScores, SweepSetup, TaskOutcome,
+};

@@ -7,7 +7,7 @@ use autofj_baselines::{
     SupervisedMatcher, UnsupervisedMatcher, ZeroEr,
 };
 use autofj_core::{AutoFjOptions, JoinResult};
-use autofj_datagen::SingleColumnTask;
+use autofj_datagen::{DomainSpec, ScenarioData, ScenarioSpec, SingleColumnTask};
 use autofj_eval::{
     adjusted_recall, evaluate_assignment, pr_auc, upper_bound_recall, QualityReport,
     ScoredPrediction,
@@ -94,6 +94,66 @@ pub fn env_space() -> JoinFunctionSpace {
         Some(38) => JoinFunctionSpace::reduced38(),
         Some(70) => JoinFunctionSpace::reduced70(),
         _ => JoinFunctionSpace::full(),
+    }
+}
+
+/// The environment-driven setup shared by the `fig6*` robustness bins: the
+/// benchmark domain specs, the tasks they generate, and the configuration
+/// space.
+pub struct SweepSetup {
+    /// The selected benchmark domain specs (inputs to the scenario
+    /// constructors for bins that derive adversarial variants).
+    pub specs: Vec<DomainSpec>,
+    /// One generated task per spec.
+    pub tasks: Vec<SingleColumnTask>,
+    /// The `AUTOFJ_SPACE` configuration space.
+    pub space: autofj_text::JoinFunctionSpace,
+}
+
+/// Build the shared `fig6*` sweep harness: `benchmark_specs(AUTOFJ_SCALE)`
+/// capped at `min(AUTOFJ_TASKS, 12)` tasks, each generated through
+/// [`ScenarioSpec::perturbation`] so the experiment bins exercise the same
+/// registry code path the `robustness_matrix` gate runs.
+pub fn sweep_setup() -> SweepSetup {
+    let mut specs = autofj_datagen::benchmark_specs(env_scale());
+    let limit = env_task_limit().min(specs.len()).min(12);
+    specs.truncate(limit);
+    let tasks = specs
+        .iter()
+        .map(|s| expect_single(ScenarioSpec::perturbation(&s.name, s.clone()).generate()))
+        .collect();
+    SweepSetup {
+        specs,
+        tasks,
+        space: env_space(),
+    }
+}
+
+/// Unwrap the single-column payload of a scenario that can only generate one
+/// (every `fig6*` sweep point).
+pub fn expect_single(data: ScenarioData) -> SingleColumnTask {
+    match data {
+        ScenarioData::Single(task) => task,
+        ScenarioData::Multi(task) => {
+            panic!(
+                "expected a single-column scenario, got multi-column {}",
+                task.name
+            )
+        }
+    }
+}
+
+/// Unwrap the multi-column payload of a scenario that can only generate one
+/// (every `table4*` sweep point).
+pub fn expect_multi(data: ScenarioData) -> autofj_datagen::MultiColumnTask {
+    match data {
+        ScenarioData::Multi(task) => task,
+        ScenarioData::Single(task) => {
+            panic!(
+                "expected a multi-column scenario, got single-column {}",
+                task.name
+            )
+        }
     }
 }
 

@@ -9,6 +9,7 @@
 //! and fail on any drift.  Timings and throughput stay informational so
 //! wall-clock noise can never fail CI.
 
+use autofj_eval::DataProfile;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
 
@@ -112,6 +113,44 @@ pub struct ServeBench {
     pub runs: Vec<ServeRun>,
 }
 
+/// One pipeline execution of a robustness scenario at a fixed thread count.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioRun {
+    /// Worker threads of the execution engine for this leg.
+    pub threads: usize,
+    /// Wall-clock seconds of the run (informational).
+    pub seconds: f64,
+    /// Records the learned program joined.
+    pub joined: usize,
+    /// The program's estimated precision (Eq. 8/9).
+    pub estimated_precision: f64,
+    /// Precision against the generated ground truth.
+    pub actual_precision: f64,
+    /// Recall against the generated ground truth.
+    pub actual_recall: f64,
+}
+
+/// Measurements of one robustness scenario across thread counts, committed
+/// next to its data profile so a gate failure is attributable: a drifted
+/// profile means the generator changed, drifted quality under an identical
+/// profile means the pipeline changed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioBench {
+    /// Registry scenario name (the key the gate diffs on).
+    pub scenario: String,
+    /// Scenario family label (`zero_join`, `irrelevant_records`, …).
+    pub kind: String,
+    /// `(left, right)` record counts.
+    pub size: (usize, usize),
+    /// The committed shape summary of the generated data.
+    pub profile: DataProfile,
+    /// The timed legs, single-thread first.
+    pub runs: Vec<ScenarioRun>,
+    /// Whether every run of this scenario produced a byte-identical
+    /// serialized `JoinResult`.
+    pub identical_results: bool,
+}
+
 /// The persisted smoke report — one entry of the benchmark trajectory.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BenchSmokeReport {
@@ -125,6 +164,9 @@ pub struct BenchSmokeReport {
     /// Snapshot + online-serving measurements (absent in pre-serve reports
     /// and in legs that only ran the batch smoke).
     pub serve: Option<ServeBench>,
+    /// Scenario-robustness matrix measurements (absent in pre-matrix reports
+    /// and in legs that only ran the batch smoke).
+    pub scenarios: Option<Vec<ScenarioBench>>,
     /// Conjunction of the per-task determinism checks.
     pub identical_results: bool,
 }
@@ -254,6 +296,173 @@ pub fn diff_serve_against_baseline(
     }
 }
 
+/// Compare two data profiles field by field: integer shape fields must be
+/// identical, floating-point statistics match within [`GATE_REL_EPS`].
+pub fn diff_profile(
+    name: &str,
+    fresh: &DataProfile,
+    baseline: &DataProfile,
+    errors: &mut Vec<String>,
+) {
+    let ints = [
+        ("left_rows", fresh.left_rows, baseline.left_rows),
+        ("right_rows", fresh.right_rows, baseline.right_rows),
+        ("columns", fresh.columns, baseline.columns),
+        (
+            "distinct_tokens",
+            fresh.distinct_tokens,
+            baseline.distinct_tokens,
+        ),
+        ("total_tokens", fresh.total_tokens, baseline.total_tokens),
+        (
+            "left_length.min",
+            fresh.left_length.min,
+            baseline.left_length.min,
+        ),
+        (
+            "left_length.p50",
+            fresh.left_length.p50,
+            baseline.left_length.p50,
+        ),
+        (
+            "left_length.p90",
+            fresh.left_length.p90,
+            baseline.left_length.p90,
+        ),
+        (
+            "left_length.max",
+            fresh.left_length.max,
+            baseline.left_length.max,
+        ),
+        (
+            "right_length.min",
+            fresh.right_length.min,
+            baseline.right_length.min,
+        ),
+        (
+            "right_length.p50",
+            fresh.right_length.p50,
+            baseline.right_length.p50,
+        ),
+        (
+            "right_length.p90",
+            fresh.right_length.p90,
+            baseline.right_length.p90,
+        ),
+        (
+            "right_length.max",
+            fresh.right_length.max,
+            baseline.right_length.max,
+        ),
+    ];
+    for (field, got, want) in ints {
+        if got != want {
+            errors.push(format!("{name}: profile.{field} {got} != baseline {want}"));
+        }
+    }
+    let floats = [
+        ("match_density", fresh.match_density, baseline.match_density),
+        ("null_rate", fresh.null_rate, baseline.null_rate),
+        (
+            "token_skew_gini",
+            fresh.token_skew_gini,
+            baseline.token_skew_gini,
+        ),
+        (
+            "top_token_share",
+            fresh.top_token_share,
+            baseline.top_token_share,
+        ),
+        (
+            "left_length.mean",
+            fresh.left_length.mean,
+            baseline.left_length.mean,
+        ),
+        (
+            "right_length.mean",
+            fresh.right_length.mean,
+            baseline.right_length.mean,
+        ),
+    ];
+    for (field, got, want) in floats {
+        if !float_quality_matches(got, want) {
+            errors.push(format!("{name}: profile.{field} {got} != baseline {want}"));
+        }
+    }
+}
+
+/// Compare a fresh scenario-matrix measurement against the committed
+/// baseline's `scenarios` section.  Every baseline scenario must still be
+/// measured, its data profile must be unchanged (generator drift), and its
+/// quality fields must match per thread leg (pipeline drift).  Timings stay
+/// informational.
+pub fn diff_scenarios_against_baseline(
+    fresh: &[ScenarioBench],
+    baseline: &[ScenarioBench],
+    errors: &mut Vec<String>,
+) {
+    for base in baseline {
+        if !fresh.iter().any(|f| f.scenario == base.scenario) {
+            errors.push(format!(
+                "{}: present in baseline but not measured",
+                base.scenario
+            ));
+        }
+    }
+    for f in fresh {
+        let s = &f.scenario;
+        let Some(base) = baseline.iter().find(|b| b.scenario == *s) else {
+            errors.push(format!("{s}: not present in baseline"));
+            continue;
+        };
+        if f.kind != base.kind {
+            errors.push(format!("{s}: kind {} != baseline {}", f.kind, base.kind));
+        }
+        if f.size != base.size {
+            errors.push(format!(
+                "{s}: size {:?} != baseline {:?}",
+                f.size, base.size
+            ));
+        }
+        if f.identical_results != base.identical_results {
+            errors.push(format!(
+                "{s}: identical_results {} != baseline {}",
+                f.identical_results, base.identical_results
+            ));
+        }
+        diff_profile(s, &f.profile, &base.profile, errors);
+        for run in &f.runs {
+            let Some(b) = base.runs.iter().find(|b| b.threads == run.threads) else {
+                errors.push(format!("{s}: baseline has no {}-thread run", run.threads));
+                continue;
+            };
+            if run.joined != b.joined {
+                errors.push(format!(
+                    "{s} ({} threads): joined {} != baseline {}",
+                    run.threads, run.joined, b.joined
+                ));
+            }
+            let fields = [
+                (
+                    "estimated_precision",
+                    run.estimated_precision,
+                    b.estimated_precision,
+                ),
+                ("actual_precision", run.actual_precision, b.actual_precision),
+                ("actual_recall", run.actual_recall, b.actual_recall),
+            ];
+            for (field, got, want) in fields {
+                if !float_quality_matches(got, want) {
+                    errors.push(format!(
+                        "{s} ({} threads): {field} {got} != baseline {want}",
+                        run.threads
+                    ));
+                }
+            }
+        }
+    }
+}
+
 /// Resolve the bench-gate baseline path.
 ///
 /// `AUTOFJ_BENCH_BASELINE` wins when set (empty or `none` disables the gate
@@ -370,13 +579,87 @@ mod tests {
 
     #[test]
     fn reports_without_serve_section_still_parse() {
-        // Committed baselines predate the serve/peak-RSS fields; the gate
-        // must keep reading them.
+        // Committed baselines predate the serve/peak-RSS/scenarios fields;
+        // the gate must keep reading them.
         let old = r#"{"host_parallelism": 4, "tasks": [], "identical_results": true}"#;
         let report: BenchSmokeReport = serde_json::from_str(old).unwrap();
         assert!(report.serve.is_none());
         assert!(report.peak_rss_bytes.is_none());
+        assert!(report.scenarios.is_none());
         assert!(report.identical_results);
+    }
+
+    fn scenario_bench(joined: usize, gini: f64) -> ScenarioBench {
+        let profile = autofj_eval::profile_tables(
+            &[&["grand hotel".to_string(), "old museum".to_string()]],
+            &[&["grand hotell".to_string(), "museum".to_string()]],
+            &[Some(0), Some(1)],
+        );
+        ScenarioBench {
+            scenario: "irrelevant_50".to_string(),
+            kind: "irrelevant_records".to_string(),
+            size: (2, 2),
+            profile: DataProfile {
+                token_skew_gini: gini,
+                ..profile
+            },
+            runs: vec![
+                ScenarioRun {
+                    threads: 1,
+                    seconds: 0.1,
+                    joined,
+                    estimated_precision: 0.95,
+                    actual_precision: 1.0,
+                    actual_recall: 0.9,
+                },
+                ScenarioRun {
+                    threads: 4,
+                    seconds: 0.05,
+                    joined,
+                    estimated_precision: 0.95,
+                    actual_precision: 1.0,
+                    actual_recall: 0.9,
+                },
+            ],
+            identical_results: true,
+        }
+    }
+
+    #[test]
+    fn scenario_gate_flags_quality_and_profile_drift_but_not_timing() {
+        let base = vec![scenario_bench(7, 0.25)];
+        let mut errors = Vec::new();
+
+        // Timing noise alone never fails the gate.
+        let mut fresh = vec![scenario_bench(7, 0.25)];
+        fresh[0].runs[1].seconds = 99.0;
+        diff_scenarios_against_baseline(&fresh, &base, &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+
+        // Quality drift (pipeline change) fails.
+        diff_scenarios_against_baseline(&[scenario_bench(6, 0.25)], &base, &mut errors);
+        assert_eq!(errors.len(), 2, "joined drifts on both legs: {errors:?}");
+
+        // Profile drift (generator change) fails even with identical quality.
+        errors.clear();
+        diff_scenarios_against_baseline(&[scenario_bench(7, 0.75)], &base, &mut errors);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("profile.token_skew_gini"), "{errors:?}");
+    }
+
+    #[test]
+    fn scenario_gate_flags_missing_and_unknown_scenarios() {
+        let base = vec![scenario_bench(7, 0.25)];
+        let mut errors = Vec::new();
+        diff_scenarios_against_baseline(&[], &base, &mut errors);
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("not measured"), "{errors:?}");
+
+        errors.clear();
+        let mut renamed = scenario_bench(7, 0.25);
+        renamed.scenario = "brand_new".to_string();
+        diff_scenarios_against_baseline(&[renamed], &base, &mut errors);
+        assert_eq!(errors.len(), 2, "dropped + unknown: {errors:?}");
     }
 
     #[test]

@@ -205,4 +205,76 @@ mod tests {
         let task = small_task(0);
         let _ = add_irrelevant_records(&task, &task.left, 1.5, 0);
     }
+
+    #[test]
+    fn add_irrelevant_appends_exactly_n_nonmatching_rows() {
+        let task = small_task(6);
+        let donor = small_task(7).left;
+        for fraction in [0.2, 0.25, 0.5, 0.8] {
+            let out = add_irrelevant_records(&task, &donor, fraction, 42);
+            // fraction = irrelevant / (original + irrelevant), solved for
+            // the appended count and rounded — the exact contract.
+            let expected =
+                ((fraction / (1.0 - fraction)) * task.right.len() as f64).round() as usize;
+            assert_eq!(out.right.len(), task.right.len() + expected, "@{fraction}");
+            // The original records and their ground truth ride unchanged as
+            // a prefix; every appended row is a donor record with gt = ⊥.
+            assert_eq!(out.left, task.left);
+            assert_eq!(out.right[..task.right.len()], task.right[..]);
+            assert_eq!(out.ground_truth[..task.right.len()], task.ground_truth[..]);
+            for (r, gt) in out.ground_truth.iter().enumerate().skip(task.right.len()) {
+                assert_eq!(*gt, None, "appended row {r} must not match");
+                assert!(donor.contains(&out.right[r]), "row {r} not from donor");
+            }
+            assert_eq!(out.num_matches(), task.num_matches());
+        }
+    }
+
+    #[test]
+    fn sparsify_never_drops_below_requested_retention() {
+        let task = small_task(8);
+        for remove in [0.1, 0.3, 0.5, 0.7, 0.9, 0.99] {
+            let out = sparsify_reference(&task, remove, 5);
+            let requested = ((task.left.len() as f64) * (1.0 - remove)).round().max(1.0) as usize;
+            assert_eq!(out.left.len(), requested, "@{remove}");
+            assert!(!out.left.is_empty(), "@{remove}: reference emptied");
+            out.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn unrelated_pair_records_sit_above_join_distance() {
+        // Token-level Jaccard distance of every (right, best left) pair must
+        // sit far above any plausible join threshold — if unrelated domains
+        // came out lexically close, the zero-join scenario would measure the
+        // generator, not the learner.
+        fn tokens(s: &str) -> std::collections::HashSet<String> {
+            s.to_lowercase()
+                .split_whitespace()
+                .map(|t| t.to_string())
+                .collect()
+        }
+        let left_task = small_task(1); // ArtificialSatellite
+        let right_task = small_task(20); // Hospital
+        let out = unrelated_pair(&left_task, &right_task);
+        let left_tokens: Vec<_> = out.left.iter().map(|l| tokens(l)).collect();
+        let mut min_distance = 1.0f64;
+        for r in &out.right {
+            let rt = tokens(r);
+            for lt in &left_tokens {
+                let inter = rt.intersection(lt).count() as f64;
+                let union = (rt.len() + lt.len()) as f64 - inter;
+                let distance = if union == 0.0 {
+                    0.0
+                } else {
+                    1.0 - inter / union
+                };
+                min_distance = min_distance.min(distance);
+            }
+        }
+        assert!(
+            min_distance > 0.5,
+            "closest unrelated pair at Jaccard distance {min_distance}"
+        );
+    }
 }

@@ -15,17 +15,22 @@
 //! * [`single_column`] — the 50-task single-column benchmark (Table 2).
 //! * [`multi_column`] — the 8-task multi-column benchmark (Table 3).
 //! * [`adversarial`] — the robustness transformations of Figure 6 / Table 4(b).
+//! * [`scenario`] — the named scenario-robustness registry (deterministic
+//!   stress scenarios + committed data profiles) behind the
+//!   `robustness_matrix` bench gate and the `fig6*`/`table4*` bins.
 //! * [`perturb`] — the string-variation model.
 
 pub mod adversarial;
 pub mod multi_column;
 pub mod perturb;
+pub mod scenario;
 pub mod single_column;
 pub mod task;
 pub mod words;
 
 pub use multi_column::{generate_multi_column_benchmark, MultiColumnDataset};
 pub use perturb::{Perturbation, PerturbationMix};
+pub use scenario::{scenario_registry, ScenarioData, ScenarioKind, ScenarioSpec};
 pub use single_column::{
     benchmark_specs, generate_benchmark, medium_smoke_spec, BenchmarkScale, DomainSpec, Family,
 };

@@ -12,6 +12,10 @@
 //! * [`ubr`] — the Upper Bound of Recall: the fraction of ground-truth pairs
 //!   that *any* configuration in the search space could produce as a
 //!   nearest-neighbour match.
+//! * [`profile`] — deterministic data profiles (row counts, null rate,
+//!   token-frequency skew, length distribution, match density) committed
+//!   alongside quality numbers so bench-gate failures are attributable to
+//!   either the generator or the pipeline.
 //!
 //! Ground truth is represented throughout as `&[Option<usize>]`: for every
 //! right record, the index of its true left counterpart or `None` (⊥).
@@ -19,11 +23,13 @@
 pub mod adjusted;
 pub mod metrics;
 pub mod pr_curve;
+pub mod profile;
 pub mod ubr;
 
 pub use adjusted::{adjusted_recall, AdjustedRecall};
 pub use metrics::{evaluate_assignment, evaluate_pairs, QualityReport};
 pub use pr_curve::{pr_auc, pr_curve, PrPoint};
+pub use profile::{gini_coefficient, profile_tables, DataProfile, LengthStats};
 pub use ubr::upper_bound_recall;
 
 /// A prediction with a similarity score (higher means more likely a match),

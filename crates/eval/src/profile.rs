@@ -1,0 +1,249 @@
+//! Data profiles of benchmark tasks — the "conformance" summary committed
+//! next to every robustness scenario's quality numbers.
+//!
+//! A [`DataProfile`] condenses the *shape* of a generated task (row counts,
+//! null rate, token-frequency skew, length distribution, match density) into
+//! a handful of deterministic numbers.  Committing the profile alongside the
+//! quality fields makes a bench-gate failure attributable: if the profile
+//! drifted, the generator changed; if only quality drifted, the pipeline
+//! changed.  Every statistic is computed with plain sorts and arithmetic so
+//! the result is bit-identical across runs, thread counts and hash seeds.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Order statistics of per-row character lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LengthStats {
+    /// Shortest row (total characters across columns).
+    pub min: usize,
+    /// Median row length.
+    pub p50: usize,
+    /// 90th-percentile row length.
+    pub p90: usize,
+    /// Longest row.
+    pub max: usize,
+    /// Mean row length.
+    pub mean: f64,
+}
+
+impl LengthStats {
+    /// Compute length statistics over per-row lengths (empty input → zeros).
+    pub fn of(lengths: &mut [usize]) -> Self {
+        if lengths.is_empty() {
+            return Self {
+                min: 0,
+                p50: 0,
+                p90: 0,
+                max: 0,
+                mean: 0.0,
+            };
+        }
+        lengths.sort_unstable();
+        let pct = |p: f64| -> usize {
+            let idx = ((lengths.len() as f64 * p).ceil() as usize).max(1) - 1;
+            lengths[idx.min(lengths.len() - 1)]
+        };
+        Self {
+            min: lengths[0],
+            p50: pct(0.50),
+            p90: pct(0.90),
+            max: *lengths.last().expect("non-empty"),
+            mean: lengths.iter().sum::<usize>() as f64 / lengths.len() as f64,
+        }
+    }
+}
+
+/// The committed shape summary of one benchmark task (both tables).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DataProfile {
+    /// Reference-table rows.
+    pub left_rows: usize,
+    /// Query-table rows.
+    pub right_rows: usize,
+    /// Columns per table (1 for single-column tasks).
+    pub columns: usize,
+    /// Ground-truth matches divided by query rows.
+    pub match_density: f64,
+    /// Fraction of empty cells across both tables.
+    pub null_rate: f64,
+    /// Distinct whitespace tokens across both tables.
+    pub distinct_tokens: usize,
+    /// Total whitespace tokens across both tables.
+    pub total_tokens: usize,
+    /// Gini coefficient of the token-frequency distribution (0 = uniform,
+    /// → 1 = a few head tokens carry all the mass).
+    pub token_skew_gini: f64,
+    /// Frequency share of the single most common token.
+    pub top_token_share: f64,
+    /// Per-row character-length statistics of the reference table.
+    pub left_length: LengthStats,
+    /// Per-row character-length statistics of the query table.
+    pub right_length: LengthStats,
+}
+
+/// Gini coefficient of a frequency distribution.  Counts are sorted
+/// internally, so the caller's ordering (e.g. hash-map iteration order) can
+/// never influence the result.
+pub fn gini_coefficient(counts: &[usize]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = counts.iter().map(|&c| c as u64).collect();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let total: u64 = sorted.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    // G = (2 Σ_i i·x_(i) / (n Σ x)) − (n+1)/n  with 1-based ranks i.
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| (i as f64 + 1.0) * x as f64)
+        .sum();
+    (2.0 * weighted / (n * total as f64)) - (n + 1.0) / n
+}
+
+/// Profile a task given its tables as column slices (one `&[String]` per
+/// column; single-column tasks pass one-element slices) and the ground-truth
+/// assignment of the query table.
+pub fn profile_tables(
+    left_columns: &[&[String]],
+    right_columns: &[&[String]],
+    ground_truth: &[Option<usize>],
+) -> DataProfile {
+    let columns = left_columns.len().max(right_columns.len()).max(1);
+    let left_rows = left_columns.first().map_or(0, |c| c.len());
+    let right_rows = right_columns.first().map_or(0, |c| c.len());
+
+    let mut empty_cells = 0usize;
+    let mut total_cells = 0usize;
+    let mut token_counts: HashMap<&str, usize> = HashMap::new();
+    let mut total_tokens = 0usize;
+    let row_lengths = |cols: &[&[String]], rows: usize| -> Vec<usize> {
+        let mut lengths = vec![0usize; rows];
+        for col in cols {
+            for (r, value) in col.iter().enumerate() {
+                lengths[r] += value.chars().count();
+            }
+        }
+        lengths
+    };
+    let mut left_lengths = row_lengths(left_columns, left_rows);
+    let mut right_lengths = row_lengths(right_columns, right_rows);
+    for col in left_columns.iter().chain(right_columns.iter()) {
+        for value in col.iter() {
+            total_cells += 1;
+            if value.trim().is_empty() {
+                empty_cells += 1;
+            }
+            for token in value.split_whitespace() {
+                *token_counts.entry(token).or_insert(0) += 1;
+                total_tokens += 1;
+            }
+        }
+    }
+    let counts: Vec<usize> = token_counts.values().copied().collect();
+    let top = counts.iter().copied().max().unwrap_or(0);
+
+    let matches = ground_truth.iter().flatten().count();
+    DataProfile {
+        left_rows,
+        right_rows,
+        columns,
+        match_density: if right_rows == 0 {
+            0.0
+        } else {
+            matches as f64 / right_rows as f64
+        },
+        null_rate: if total_cells == 0 {
+            0.0
+        } else {
+            empty_cells as f64 / total_cells as f64
+        },
+        distinct_tokens: counts.len(),
+        total_tokens,
+        token_skew_gini: gini_coefficient(&counts),
+        top_token_share: if total_tokens == 0 {
+            0.0
+        } else {
+            top as f64 / total_tokens as f64
+        },
+        left_length: LengthStats::of(&mut left_lengths),
+        right_length: LengthStats::of(&mut right_lengths),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn gini_of_uniform_counts_is_zero_and_of_point_mass_is_high() {
+        assert!(gini_coefficient(&[5, 5, 5, 5]).abs() < 1e-12);
+        assert_eq!(gini_coefficient(&[]), 0.0);
+        assert_eq!(gini_coefficient(&[0, 0]), 0.0);
+        let skewed = gini_coefficient(&[1, 1, 1, 1, 1, 1, 1, 1, 1, 991]);
+        assert!(skewed > 0.85, "point mass should dominate: {skewed}");
+        // More skew → larger coefficient.
+        assert!(gini_coefficient(&[1, 9]) > gini_coefficient(&[4, 6]));
+    }
+
+    #[test]
+    fn profile_counts_rows_tokens_and_matches() {
+        let left = strings(&["grand hotel", "old museum"]);
+        let right = strings(&["grand hotell", "museum", ""]);
+        let gt = vec![Some(0), Some(1), None];
+        let p = profile_tables(&[&left], &[&right], &gt);
+        assert_eq!(p.left_rows, 2);
+        assert_eq!(p.right_rows, 3);
+        assert_eq!(p.columns, 1);
+        assert!((p.match_density - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p.null_rate - 1.0 / 5.0).abs() < 1e-12);
+        // Tokens: grand, hotel, old, museum, grand, hotell, museum.
+        assert_eq!(p.total_tokens, 7);
+        assert_eq!(p.distinct_tokens, 5);
+        assert!((p.top_token_share - 2.0 / 7.0).abs() < 1e-12);
+        assert_eq!(p.left_length.min, 10);
+        assert_eq!(p.left_length.max, 11);
+        assert_eq!(p.right_length.min, 0);
+    }
+
+    #[test]
+    fn multi_column_rows_sum_cell_lengths() {
+        let a = strings(&["ab", "c"]);
+        let b = strings(&["xyz", ""]);
+        let p = profile_tables(&[&a, &b], &[&a, &b], &[None, None]);
+        assert_eq!(p.columns, 2);
+        assert_eq!(p.left_length.max, 5); // "ab" + "xyz"
+        assert_eq!(p.left_length.min, 1); // "c" + ""
+        assert!((p.null_rate - 2.0 / 8.0).abs() < 1e-12);
+        assert_eq!(p.match_density, 0.0);
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let left = strings(&["alpha beta", "beta gamma delta", "alpha"]);
+        let right = strings(&["beta", "alpha beta gamma"]);
+        let gt = vec![Some(1), None];
+        let a = profile_tables(&[&left], &[&right], &gt);
+        let b = profile_tables(&[&left], &[&right], &gt);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_tables_profile_to_zeros() {
+        let p = profile_tables(&[], &[], &[]);
+        assert_eq!(p.left_rows, 0);
+        assert_eq!(p.right_rows, 0);
+        assert_eq!(p.match_density, 0.0);
+        assert_eq!(p.null_rate, 0.0);
+        assert_eq!(p.token_skew_gini, 0.0);
+        assert_eq!(p.left_length.max, 0);
+    }
+}

@@ -1,0 +1,53 @@
+//! End-to-end pin of the zero-join edge case at the scenario level.
+//!
+//! Figure 6(b)'s adversarial setup: `L` and `R` come from unrelated domains,
+//! so the only correct program is the one that joins nothing.  The learned
+//! program must produce 0 joins, an all-⊥ assignment, and a *finite*
+//! estimated precision — the tp + fp ≤ 0 ⇒ precision = 1.0 phantom-precision
+//! convention, pinned here end-to-end on the registry's committed scenario.
+
+use autofj::core::single::join_single_column;
+use autofj::core::AutoFjOptions;
+use autofj::datagen::{scenario_registry, ScenarioData};
+use autofj::eval::evaluate_assignment;
+use autofj::text::JoinFunctionSpace;
+
+#[test]
+fn zero_join_scenario_learns_the_empty_program() {
+    let spec = scenario_registry()
+        .into_iter()
+        .find(|s| s.kind.label() == "zero_join")
+        .expect("registry carries a zero-join scenario");
+    let ScenarioData::Single(task) = spec.generate() else {
+        panic!("zero-join scenario must be single-column");
+    };
+    assert_eq!(task.num_matches(), 0, "ground truth must be all-⊥");
+
+    let result = join_single_column(
+        &task.left,
+        &task.right,
+        &JoinFunctionSpace::reduced24(),
+        &AutoFjOptions::default(),
+    );
+
+    assert_eq!(
+        result.num_joined(),
+        0,
+        "unrelated domains must produce zero joins, got {}",
+        result.num_joined()
+    );
+    assert!(result.assignment.iter().all(Option::is_none));
+    assert!(
+        result.estimated_precision.is_finite(),
+        "estimated precision must stay finite on an empty join, got {}",
+        result.estimated_precision
+    );
+    // PR 6's phantom-precision convention: tp + fp ≤ 0 ⇒ precision 1.0.
+    assert_eq!(result.estimated_precision, 1.0);
+
+    // The evaluator agrees: an empty assignment against all-⊥ ground truth
+    // is vacuously perfect, not NaN.
+    let q = evaluate_assignment(&result.assignment, &task.ground_truth);
+    assert!(q.precision.is_finite());
+    assert!(q.recall_relative.is_finite());
+}
