@@ -50,24 +50,33 @@ use autofj_bench::smoke::{
 };
 use autofj_bench::{peak_rss_bytes, write_json, Reporter};
 use autofj_core::timing;
-use autofj_core::JoinResult;
-use autofj_datagen::{benchmark_specs, medium_smoke_spec, BenchmarkScale, SingleColumnTask};
+use autofj_core::{AutoFjOptions, JoinResult};
+use autofj_datagen::{
+    benchmark_specs, large_spec, medium_smoke_spec, BenchmarkScale, SingleColumnTask,
+};
+use autofj_eval::profile_tables;
 use autofj_text::JoinFunctionSpace;
 
-/// Measure one task at 1 and `multi_threads` workers.
+/// Measure one task at 1 and `multi_threads` workers.  `warmup` runs one
+/// untimed pipeline first; the large tier skips it (its timings are
+/// informational and a third multi-minute run buys nothing).
 fn bench_task(
     task: &SingleColumnTask,
     scale: &str,
     space: &JoinFunctionSpace,
+    options: &AutoFjOptions,
     multi_threads: usize,
+    warmup: bool,
 ) -> TaskBench {
-    let options = autofj_options();
     // Untimed warm-up so one-time costs (allocator growth, lazy tables,
     // page faults) are not attributed to whichever leg happens to run first.
-    let _ = run_autofj(task, space, &options);
+    if warmup {
+        let _ = run_autofj(task, space, options);
+    }
 
     let mut runs = Vec::new();
     let mut serialized: Vec<String> = Vec::new();
+    let mut candidates: Vec<Option<timing::CandidateStats>> = Vec::new();
     for threads in [1usize, multi_threads] {
         rayon::ThreadPoolBuilder::new()
             .num_threads(threads)
@@ -77,10 +86,11 @@ fn bench_task(
         rayon::reset_engine_stats();
         let cpu_before = rayon::process_cpu_nanos();
         let (result, quality, _pepcc, seconds): (JoinResult, _, _, _) =
-            run_autofj(task, space, &options);
+            run_autofj(task, space, options);
         let cpu_seconds = rayon::process_cpu_nanos().saturating_sub(cpu_before) as f64 * 1e-9;
         let engine = rayon::engine_stats();
         serialized.push(serde_json::to_string(&result).expect("JoinResult serializes"));
+        candidates.push(timing::blocking_stats());
         runs.push(BenchRun {
             threads,
             seconds,
@@ -107,6 +117,11 @@ fn bench_task(
         multi.parallel_work_seconds,
         multi.parallel_span_seconds,
     );
+    // The candidate counters are deterministic integer totals, so a
+    // cross-leg mismatch is a determinism failure exactly like a differing
+    // JoinResult — fold it into the same flag the gate reads.
+    let candidates_identical = candidates.windows(2).all(|w| w[0] == w[1]);
+    let profile = profile_tables(&[&task.left], &[&task.right], &task.ground_truth);
     TaskBench {
         task: task.name.clone(),
         scale: scale.to_string(),
@@ -115,7 +130,9 @@ fn bench_task(
         runs,
         speedup,
         parallel_effective,
-        identical_results: serialized.windows(2).all(|w| w[0] == w[1]),
+        identical_results: serialized.windows(2).all(|w| w[0] == w[1]) && candidates_identical,
+        candidates: candidates.into_iter().next().flatten(),
+        profile: Some(profile),
     }
 }
 
@@ -129,7 +146,8 @@ fn main() {
     let scales: &[&str] = match scale_env.as_str() {
         "small" => &["small"],
         "medium" => &["medium"],
-        _ => &["small", "medium"],
+        "large" => &["large"],
+        _ => &["small", "medium", "large"],
     };
     // Default to the reduced 24-function space so the smoke run stays fast;
     // AUTOFJ_SPACE selects a bigger space for deeper benchmarking sessions.
@@ -149,7 +167,21 @@ fn main() {
             // Index 36 is ShoppingMall, the same task the runner's own tests
             // exercise and the one PR 3's trajectory entry recorded.
             "small" => benchmark_specs(BenchmarkScale::Small)[36].generate(),
+            "large" => large_spec().generate(),
             _ => medium_smoke_spec().generate(),
+        };
+        // The large tier drops β to keep the candidate volume (β·√|L| per
+        // probe, over 200k probes) within the CI budget; it is still ~5×
+        // the medium task's pair count.  It also skips the untimed warm-up
+        // run — large timings are informational.
+        let (options, warmup) = if scale == "large" {
+            let options = AutoFjOptions {
+                blocking_factor: 0.25,
+                ..autofj_options()
+            };
+            (options, false)
+        } else {
+            (autofj_options(), true)
         };
         eprintln!(
             "bench-smoke: running {} ({}x{}) at 1 and {multi_threads} threads...",
@@ -157,7 +189,14 @@ fn main() {
             task.left.len(),
             task.right.len()
         );
-        tasks.push(bench_task(&task, scale, &space, multi_threads));
+        tasks.push(bench_task(
+            &task,
+            scale,
+            &space,
+            &options,
+            multi_threads,
+            warmup,
+        ));
     }
 
     let report = BenchSmokeReport {
@@ -167,6 +206,7 @@ fn main() {
         tasks,
         serve: None,
         scenarios: None,
+        fig6d: None,
     };
 
     let mut table = Reporter::new(
@@ -205,6 +245,19 @@ fn main() {
                     );
                 }
             }
+        }
+        if let Some(c) = &t.candidates {
+            println!(
+                "  candidates: {} L-R + {} L-L pairs (max {}/probe), scored {}, \
+                 postings {}/{} scanned (reduction {:.1}%)",
+                c.lr_pairs,
+                c.ll_pairs,
+                c.per_probe_max,
+                c.scored_records,
+                c.postings_scanned,
+                c.postings_total,
+                c.reduction_ratio * 100.0
+            );
         }
     }
     if let Some(rss) = report.peak_rss_bytes {

@@ -174,6 +174,7 @@ fn main() {
             tasks: Vec::new(),
             serve: None,
             scenarios: Some(scenarios.clone()),
+            fig6d: None,
             identical_results: all_identical,
         };
         let path = write_json("BENCH_scenarios", &report);

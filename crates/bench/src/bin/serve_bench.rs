@@ -261,6 +261,7 @@ fn main() {
             identical_results: serve.identical_results,
             serve: Some(serve.clone()),
             scenarios: None,
+            fig6d: None,
         };
         let path = write_json("BENCH_serve", &report);
         println!("wrote {}", path.display());

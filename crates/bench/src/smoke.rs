@@ -9,6 +9,7 @@
 //! and fail on any drift.  Timings and throughput stay informational so
 //! wall-clock noise can never fail CI.
 
+use autofj_core::timing::CandidateStats;
 use autofj_eval::DataProfile;
 use serde::{Deserialize, Serialize};
 use std::path::PathBuf;
@@ -72,6 +73,32 @@ pub struct TaskBench {
     /// Whether every run of this task produced a byte-identical serialized
     /// `JoinResult`.
     pub identical_results: bool,
+    /// Blocking candidate-set statistics of the task (identical across
+    /// thread legs — the counters are deterministic integer totals; the
+    /// binary verifies that before writing one value here).  `None` in
+    /// pre-PR10 baselines.
+    pub candidates: Option<CandidateStats>,
+    /// The committed shape summary of the generated tables, pinned like the
+    /// scenario profiles so generator drift is attributable.  `None` in
+    /// pre-PR10 baselines.
+    pub profile: Option<DataProfile>,
+}
+
+/// One point of the Figure 6(d) blocking-factor sweep: quality and
+/// candidate-set sizes at one `β`, averaged / summed over the sweep tasks.
+/// Timings stay informational; everything else gates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig6dPoint {
+    /// Blocking factor β of this sweep point.
+    pub beta: f64,
+    /// Mean actual precision over the sweep tasks.
+    pub precision: f64,
+    /// Mean actual recall over the sweep tasks.
+    pub recall: f64,
+    /// Mean wall-clock seconds per task (informational).
+    pub seconds: f64,
+    /// Blocking candidate-set statistics summed over the sweep tasks.
+    pub candidates: CandidateStats,
 }
 
 /// One timed client leg against the online join server.
@@ -167,6 +194,9 @@ pub struct BenchSmokeReport {
     /// Scenario-robustness matrix measurements (absent in pre-matrix reports
     /// and in legs that only ran the batch smoke).
     pub scenarios: Option<Vec<ScenarioBench>>,
+    /// Figure 6(d) blocking-factor sweep points (absent in pre-PR10 reports
+    /// and in legs that only ran the batch smoke).
+    pub fig6d: Option<Vec<Fig6dPoint>>,
     /// Conjunction of the per-task determinism checks.
     pub identical_results: bool,
 }
@@ -258,6 +288,103 @@ pub fn diff_against_baseline(fresh: &TaskBench, baseline: &TaskBench, errors: &m
                 ));
             }
         }
+    }
+    match (&fresh.candidates, &baseline.candidates) {
+        (Some(got), Some(want)) => diff_candidates(t, got, want, errors),
+        (None, Some(_)) => errors.push(format!(
+            "{t}: baseline records candidate stats but the fresh run has none"
+        )),
+        // Pre-PR10 baselines carry no candidate stats; a fresh run adding
+        // them is the expected upgrade, not drift.
+        (_, None) => {}
+    }
+    match (&fresh.profile, &baseline.profile) {
+        (Some(got), Some(want)) => diff_profile(t, got, want, errors),
+        (None, Some(_)) => errors.push(format!(
+            "{t}: baseline records a data profile but the fresh run has none"
+        )),
+        (_, None) => {}
+    }
+}
+
+/// Compare blocking candidate-set statistics: every counter is a
+/// deterministic integer total and must match exactly; the derived
+/// reduction ratio matches within [`GATE_REL_EPS`].
+pub fn diff_candidates(
+    name: &str,
+    fresh: &CandidateStats,
+    baseline: &CandidateStats,
+    errors: &mut Vec<String>,
+) {
+    let ints = [
+        ("lr_pairs", fresh.lr_pairs, baseline.lr_pairs),
+        ("ll_pairs", fresh.ll_pairs, baseline.ll_pairs),
+        ("per_probe_max", fresh.per_probe_max, baseline.per_probe_max),
+        (
+            "scored_records",
+            fresh.scored_records,
+            baseline.scored_records,
+        ),
+        (
+            "postings_scanned",
+            fresh.postings_scanned,
+            baseline.postings_scanned,
+        ),
+        (
+            "postings_total",
+            fresh.postings_total,
+            baseline.postings_total,
+        ),
+    ];
+    for (field, got, want) in ints {
+        if got != want {
+            errors.push(format!(
+                "{name}: candidates.{field} {got} != baseline {want}"
+            ));
+        }
+    }
+    if !float_quality_matches(fresh.reduction_ratio, baseline.reduction_ratio) {
+        errors.push(format!(
+            "{name}: candidates.reduction_ratio {} != baseline {}",
+            fresh.reduction_ratio, baseline.reduction_ratio
+        ));
+    }
+}
+
+/// Compare a fresh Figure 6(d) sweep against the committed baseline's
+/// `fig6d` section with two-way coverage (a dropped *or* added β is drift,
+/// like the scenario gate): per matching β, quality matches within
+/// [`GATE_REL_EPS`] and the candidate counters match exactly.  Timings stay
+/// informational.
+pub fn diff_fig6d_against_baseline(
+    fresh: &[Fig6dPoint],
+    baseline: &[Fig6dPoint],
+    errors: &mut Vec<String>,
+) {
+    let same_beta = |a: f64, b: f64| (a - b).abs() < 1e-12;
+    for base in baseline {
+        if !fresh.iter().any(|f| same_beta(f.beta, base.beta)) {
+            errors.push(format!(
+                "fig6d beta={}: present in baseline but not measured",
+                base.beta
+            ));
+        }
+    }
+    for f in fresh {
+        let name = format!("fig6d beta={}", f.beta);
+        let Some(base) = baseline.iter().find(|b| same_beta(b.beta, f.beta)) else {
+            errors.push(format!("{name}: not present in baseline"));
+            continue;
+        };
+        for (field, got, want) in [
+            ("precision", f.precision, base.precision),
+            ("recall", f.recall, base.recall),
+        ] {
+            if !float_quality_matches(got, want) {
+                errors.push(format!("{name}: {field} {got} != baseline {want}"));
+            }
+        }
+        diff_candidates(&name, &f.candidates, &base.candidates, errors);
     }
 }
 
@@ -579,14 +706,123 @@ mod tests {
 
     #[test]
     fn reports_without_serve_section_still_parse() {
-        // Committed baselines predate the serve/peak-RSS/scenarios fields;
-        // the gate must keep reading them.
+        // Committed baselines predate the serve/peak-RSS/scenarios/fig6d
+        // fields; the gate must keep reading them.
         let old = r#"{"host_parallelism": 4, "tasks": [], "identical_results": true}"#;
         let report: BenchSmokeReport = serde_json::from_str(old).unwrap();
         assert!(report.serve.is_none());
         assert!(report.peak_rss_bytes.is_none());
         assert!(report.scenarios.is_none());
+        assert!(report.fig6d.is_none());
         assert!(report.identical_results);
+    }
+
+    fn candidate_stats(lr: u64) -> CandidateStats {
+        CandidateStats {
+            lr_pairs: lr,
+            ll_pairs: 90,
+            per_probe_max: 15,
+            scored_records: 400,
+            postings_scanned: 1_000,
+            postings_total: 4_000,
+            reduction_ratio: 0.75,
+        }
+    }
+
+    fn task_bench(joined: usize, candidates: Option<CandidateStats>) -> TaskBench {
+        TaskBench {
+            task: "ShoppingMall".to_string(),
+            scale: "small".to_string(),
+            size: (143, 80),
+            space: "reduced24".to_string(),
+            runs: vec![BenchRun {
+                threads: 1,
+                seconds: 0.1,
+                cpu_seconds: 0.1,
+                parallel_work_seconds: 0.05,
+                parallel_span_seconds: 0.05,
+                joined,
+                estimated_precision: 0.95,
+                actual_precision: 1.0,
+                actual_recall: 0.9,
+                phases: Vec::new(),
+            }],
+            speedup: 1.0,
+            parallel_effective: 1.0,
+            identical_results: true,
+            candidates,
+            profile: None,
+        }
+    }
+
+    #[test]
+    fn task_gate_flags_candidate_count_drift() {
+        let base = task_bench(70, Some(candidate_stats(120)));
+        let mut errors = Vec::new();
+        diff_against_baseline(
+            &task_bench(70, Some(candidate_stats(120))),
+            &base,
+            &mut errors,
+        );
+        assert!(errors.is_empty(), "{errors:?}");
+
+        // Any counter drifting is a gate failure.
+        diff_against_baseline(
+            &task_bench(70, Some(candidate_stats(121))),
+            &base,
+            &mut errors,
+        );
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("candidates.lr_pairs"), "{errors:?}");
+
+        // Dropping the stats when the baseline has them is a gate failure;
+        // a baseline without them (pre-PR10) accepts a fresh run that adds
+        // them.
+        errors.clear();
+        diff_against_baseline(&task_bench(70, None), &base, &mut errors);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        errors.clear();
+        let old_base = task_bench(70, None);
+        diff_against_baseline(
+            &task_bench(70, Some(candidate_stats(120))),
+            &old_base,
+            &mut errors,
+        );
+        assert!(errors.is_empty(), "{errors:?}");
+    }
+
+    fn fig6d_point(beta: f64, lr: u64) -> Fig6dPoint {
+        Fig6dPoint {
+            beta,
+            precision: 0.93,
+            recall: 0.8,
+            seconds: 0.5,
+            candidates: candidate_stats(lr),
+        }
+    }
+
+    #[test]
+    fn fig6d_gate_flags_candidate_drift_and_coverage_both_ways() {
+        let base = vec![fig6d_point(0.5, 100), fig6d_point(1.5, 300)];
+        let mut errors = Vec::new();
+
+        // Identical sweep with timing noise passes.
+        let mut fresh = vec![fig6d_point(0.5, 100), fig6d_point(1.5, 300)];
+        fresh[0].seconds = 99.0;
+        diff_fig6d_against_baseline(&fresh, &base, &mut errors);
+        assert!(errors.is_empty(), "{errors:?}");
+
+        // Candidate-count drift at one β fails.
+        let drift = vec![fig6d_point(0.5, 101), fig6d_point(1.5, 300)];
+        diff_fig6d_against_baseline(&drift, &base, &mut errors);
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("candidates.lr_pairs"), "{errors:?}");
+
+        // A dropped β and an added β both fail (two-way coverage).
+        errors.clear();
+        let moved = vec![fig6d_point(0.5, 100), fig6d_point(2.0, 300)];
+        diff_fig6d_against_baseline(&moved, &base, &mut errors);
+        assert_eq!(errors.len(), 2, "{errors:?}");
     }
 
     fn scenario_bench(joined: usize, gini: f64) -> ScenarioBench {

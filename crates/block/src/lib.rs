@@ -21,7 +21,7 @@
 pub mod index;
 pub mod reference;
 
-pub use index::{Blocker, BlockingOutput, GramIndex, ProbeScratch};
+pub use index::{Blocker, BlockingOutput, BlockingStats, GramIndex, ProbeScratch};
 pub use reference::block_reference;
 
 #[cfg(test)]

@@ -130,6 +130,9 @@ pub fn block_reference<S1: AsRef<str>, S2: AsRef<str>>(
         left_candidates_of_right,
         left_candidates_of_left,
         candidates_per_record: k,
+        // The reference path reports no probe counters; tests compare the
+        // candidate lists, never the stats.
+        stats: crate::BlockingStats::default(),
     }
 }
 

@@ -80,12 +80,21 @@ pub fn join_single_column_with_artifacts(
         let _t = timing::scoped(Phase::Block);
         options.blocker().block_prepared(col, left.len())
     };
+    let bs = blocking.stats;
+    timing::record_blocking_stats(
+        bs.lr_pairs,
+        bs.ll_pairs,
+        bs.per_probe_max,
+        bs.scored_records,
+        bs.postings_scanned,
+        bs.postings_total,
+    );
 
     // Line 2: learn negative rules from L–L pairs and apply them to L–R
     // pairs.  The rule word sets of Algorithm 2 (lower-case + stem + remove
     // punctuation, split on whitespace) are exactly the interned token sets
     // of the (L+S+RP, SP) scheme, already cached per record.
-    let (rules, lr_candidates) = if options.use_negative_rules {
+    let (rules, filtered) = if options.use_negative_rules {
         let _t = timing::scoped(Phase::NegativeRules);
         let si = scheme_index(Preprocessing::LowerStemRemovePunct, Tokenization::Space);
         let word_sets: Vec<&[u32]> = (0..col.len())
@@ -99,17 +108,22 @@ pub fn join_single_column_with_artifacts(
             &blocking.left_candidates_of_right,
             &rules,
         );
-        (Some(rules), filtered)
+        (Some(rules), Some(filtered))
     } else {
-        (None, blocking.left_candidates_of_right.clone())
+        (None, None)
     };
+    // With rules disabled the blocking output is used as-is — borrow it
+    // instead of cloning ~k·|R| candidate lists (matters at the large tier).
+    let lr_candidates: &[Vec<usize>] = filtered
+        .as_deref()
+        .unwrap_or(&blocking.left_candidates_of_right);
 
     // Lines 3–4: distances + precision pre-computation.
     let pre = {
         let _t = timing::scoped(Phase::Precompute);
         Precompute::build(
             &oracle,
-            &lr_candidates,
+            lr_candidates,
             &blocking.left_candidates_of_left,
             options.num_thresholds,
         )

@@ -32,6 +32,7 @@ pub use multi_column::{generate_multi_column_benchmark, MultiColumnDataset};
 pub use perturb::{Perturbation, PerturbationMix};
 pub use scenario::{scenario_registry, ScenarioData, ScenarioKind, ScenarioSpec};
 pub use single_column::{
-    benchmark_specs, generate_benchmark, medium_smoke_spec, BenchmarkScale, DomainSpec, Family,
+    benchmark_specs, generate_benchmark, large_spec, medium_smoke_spec, BenchmarkScale, DomainSpec,
+    Family,
 };
 pub use task::{MultiColumnTask, SingleColumnTask};

@@ -28,29 +28,47 @@ fn fnv1a(bytes: &[u8], seed: u64) -> u64 {
     hash
 }
 
+/// Accumulate one gram's hashed sign contributions into `v`.
+#[inline]
+fn accumulate_gram(bytes: &[u8], v: &mut Embedding) {
+    let h = fnv1a(bytes, 0);
+    // Two independent derived values per gram spread energy over the space.
+    for k in 0..4u64 {
+        let hk = fnv1a(bytes, k + 1);
+        let idx = (hk % DIM as u64) as usize;
+        let sign = if (h >> (k % 63)) & 1 == 1 { 1.0 } else { -1.0 };
+        v[idx] += sign;
+    }
+}
+
 /// Embed a single token: sum of hashed sign contributions from its character
 /// 3-grams (with the whole token as an extra "gram"), L2-normalized.
+///
+/// Grams are hashed directly as byte sub-slices of the token, delimited by a
+/// rolling window of char boundaries — a 3-char window of the token *is* a
+/// contiguous byte range, so this is byte-identical to collecting each
+/// window into its own `String` (the pre-PR10 construction, which the tests
+/// pin against) while allocating nothing.  Record preparation calls this for
+/// every token of every record, so the allocation-free hot loop is what
+/// keeps the large-tier prepare phase bounded.
 pub fn embed_token(token: &str) -> Embedding {
     let mut v = [0f32; DIM];
-    let chars: Vec<char> = token.chars().collect();
-    let mut grams: Vec<String> = Vec::new();
-    if chars.len() <= 3 {
-        grams.push(token.to_string());
+    let n_chars = token.chars().count();
+    if n_chars <= 3 {
+        accumulate_gram(token.as_bytes(), &mut v);
     } else {
-        for w in chars.windows(3) {
-            grams.push(w.iter().collect());
+        let bytes = token.as_bytes();
+        // `starts` holds the byte boundaries of the last three chars seen:
+        // reaching char `i` closes the window that started at char `i - 3`.
+        let mut starts = [0usize; 3];
+        for (i, (pos, _)) in token.char_indices().enumerate() {
+            if i >= 3 {
+                accumulate_gram(&bytes[starts[(i - 3) % 3]..pos], &mut v);
+            }
+            starts[i % 3] = pos;
         }
-        grams.push(token.to_string());
-    }
-    for gram in &grams {
-        let h = fnv1a(gram.as_bytes(), 0);
-        // Two independent derived values per gram spread energy over the space.
-        for k in 0..4u64 {
-            let hk = fnv1a(gram.as_bytes(), k + 1);
-            let idx = (hk % DIM as u64) as usize;
-            let sign = if (h >> (k % 63)) & 1 == 1 { 1.0 } else { -1.0 };
-            v[idx] += sign;
-        }
+        accumulate_gram(&bytes[starts[(n_chars - 3) % 3]..], &mut v);
+        accumulate_gram(bytes, &mut v);
     }
     normalize(&mut v);
     v
@@ -115,6 +133,41 @@ mod tests {
         assert_eq!(a, b);
         let norm: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
         assert!((norm - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gram_slices_match_collected_window_strings() {
+        // The allocation-free byte-slice gram walk must reproduce the
+        // original collect-each-window-into-a-String construction exactly,
+        // including on multi-byte text.
+        for token in [
+            "tigers",
+            "ab",
+            "abc",
+            "abcd",
+            "héllo wörld",
+            "日本語のテキスト",
+            "a€c𝄞e",
+            "",
+        ] {
+            let fast = embed_token(token);
+            let mut v = [0f32; DIM];
+            let chars: Vec<char> = token.chars().collect();
+            let mut grams: Vec<String> = Vec::new();
+            if chars.len() <= 3 {
+                grams.push(token.to_string());
+            } else {
+                for w in chars.windows(3) {
+                    grams.push(w.iter().collect());
+                }
+                grams.push(token.to_string());
+            }
+            for gram in &grams {
+                accumulate_gram(gram.as_bytes(), &mut v);
+            }
+            normalize(&mut v);
+            assert_eq!(fast, v, "token {token:?}");
+        }
     }
 
     #[test]

@@ -161,12 +161,17 @@ impl PreparedColumn {
         let mut records = Vec::with_capacity(strings.len());
         let mut scratch = GramScratch::default();
         let mut ids: Vec<u32> = Vec::new();
+        // One batch buffer for the whole stream: `collect_into_vec` +
+        // `drain` keep its allocation alive across batches, so the
+        // transient footprint of a 100k-record build is one batch, not one
+        // Vec per batch.
+        let mut raw_batch: Vec<RawPrepared> = Vec::with_capacity(PREPARE_BATCH.min(strings.len()));
         for batch in strings.chunks(PREPARE_BATCH.max(1)) {
-            let raw_records: Vec<RawPrepared> = batch
+            batch
                 .par_iter()
                 .map(|raw| prepare_raw(raw.as_ref()))
-                .collect();
-            for rec in raw_records {
+                .collect_into_vec(&mut raw_batch);
+            for rec in raw_batch.drain(..) {
                 records.push(intern_record(rec, &mut vocabs, &mut scratch, &mut ids));
             }
         }
@@ -234,12 +239,13 @@ impl PreparedColumn {
         let mut scratch = GramScratch::default();
         let mut ids: Vec<u32> = Vec::new();
         self.records.reserve(strings.len());
+        let mut raw_batch: Vec<RawPrepared> = Vec::with_capacity(PREPARE_BATCH.min(strings.len()));
         for batch in strings.chunks(PREPARE_BATCH.max(1)) {
-            let raw_records: Vec<RawPrepared> = batch
+            batch
                 .par_iter()
                 .map(|raw| prepare_raw(raw.as_ref()))
-                .collect();
-            for rec in raw_records {
+                .collect_into_vec(&mut raw_batch);
+            for rec in raw_batch.drain(..) {
                 self.records
                     .push(intern_record(rec, &mut self.vocabs, &mut scratch, &mut ids));
             }

@@ -478,6 +478,16 @@ where
         self.run_chunks().into_iter().flatten().collect()
     }
 
+    /// Collect into an existing `Vec` (cleared first), preserving input
+    /// order — rayon's `collect_into_vec`.  Lets streaming callers reuse one
+    /// batch buffer's allocation across many parallel rounds.
+    pub fn collect_into_vec(self, target: &mut Vec<T::Out>) {
+        target.clear();
+        for chunk in self.run_chunks() {
+            target.extend(chunk);
+        }
+    }
+
     /// Rayon-style reduce: every worker folds its chunk from a **fresh**
     /// `identity()` value, and the ordered per-chunk results are folded from
     /// another `identity()`. Deterministic for associative `op` (the chunk

@@ -1,8 +1,8 @@
 //! Property-based tests over the public API (proptest): distance invariants,
 //! blocking guarantees, estimator bounds and metric bounds.
 
-use autofj::block::{block_reference, Blocker};
-use autofj::core::{AutoFuzzyJoin, NegativeRuleSet};
+use autofj::block::{block_reference, Blocker, GramIndex, ProbeScratch};
+use autofj::core::{AutoFjOptions, AutoFuzzyJoin, NegativeRuleSet};
 use autofj::eval::{adjusted_recall, evaluate_assignment, pr_auc, ScoredPrediction};
 use autofj::text::{JoinFunctionSpace, PreparedColumn};
 use proptest::prelude::*;
@@ -113,6 +113,85 @@ proptest! {
             &prepared.left_candidates_of_left,
             &expected.left_candidates_of_left
         );
+    }
+
+    /// The prefix/length-filtered probe is *exact*: on arbitrary gram-id
+    /// sets it returns the same top-k as the retained exhaustive walk, and
+    /// every record the exhaustive walk ranks into the top-k is among the
+    /// records the filters admitted for exact scoring (the superset
+    /// guarantee that makes the filters candidate-count reductions, not
+    /// approximations).
+    #[test]
+    fn filtered_probe_is_exact_and_supersets_unfiltered(
+        mut sets in proptest::collection::vec(
+            proptest::collection::vec(0u32..60, 0..12), 1..25),
+        mut probe in proptest::collection::vec(0u32..60, 0..12),
+        k in 1usize..30,
+        exclude_pick in proptest::option::of(0usize..1000),
+    ) {
+        for s in &mut sets {
+            s.sort_unstable();
+            s.dedup();
+        }
+        probe.sort_unstable();
+        probe.dedup();
+        let index = GramIndex::from_id_sets(&sets, 60);
+        let exclude = exclude_pick.map(|p| (p % sets.len()) as u32);
+        let mut scratch = ProbeScratch::new(sets.len());
+
+        let unfiltered = index.top_k_unfiltered(&probe, k, exclude, &mut scratch);
+        let mut scored = Vec::new();
+        let filtered = index.top_k_traced(&probe, k, exclude, &mut scratch, &mut scored);
+
+        prop_assert_eq!(&filtered, &unfiltered);
+        for &li in &unfiltered {
+            prop_assert!(
+                scored.contains(&(li as u32)),
+                "unfiltered top-k record {li} was never admitted for exact scoring"
+            );
+        }
+    }
+
+    /// Turning the blocking filters off (the unfiltered reference arm) must
+    /// not change the final `JoinResult` at all — across random tables,
+    /// blocking factors and thread counts, the two paths serialize
+    /// byte-identically.
+    #[test]
+    fn blocking_filters_never_change_the_join_result(
+        left in proptest::collection::vec(name_strategy(), 1..20),
+        right in proptest::collection::vec(name_strategy(), 0..10),
+        factor in 0.3f64..3.0,
+        threads_pick in 0usize..2,
+    ) {
+        let threads = if threads_pick == 0 { 1 } else { 4 };
+        let space = JoinFunctionSpace::reduced24();
+        let filtered_opts = AutoFjOptions {
+            blocking_factor: factor,
+            ..AutoFjOptions::default()
+        };
+        let unfiltered_opts = AutoFjOptions {
+            use_blocking_filters: false,
+            ..filtered_opts.clone()
+        };
+
+        let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build_global()
+            .expect("configure shim pool");
+        let with_filters =
+            autofj::core::join_single_column(&left, &right, &space, &filtered_opts);
+        let without_filters =
+            autofj::core::join_single_column(&left, &right, &space, &unfiltered_opts);
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .expect("reset shim pool");
+        drop(_guard);
+
+        let a = serde_json::to_string(&with_filters).expect("serialize");
+        let b = serde_json::to_string(&without_filters).expect("serialize");
+        prop_assert_eq!(a, b);
     }
 
     /// The end-to-end joiner never panics on arbitrary inputs and always
